@@ -1,0 +1,52 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only,
+# no external dependencies).
+
+GO ?= go
+
+.PHONY: all build test race bench repro repro-quick fuzz cover examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick-mode benchmarks: one testing.B target per paper table/figure
+# plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Full paper-scale reproduction of every table/figure + extensions,
+# with CSV exports for plotting.
+repro:
+	$(GO) run ./cmd/anonbench -all -seed 1 -o results_full.txt -csv data
+
+repro-quick:
+	$(GO) run ./cmd/anonbench -all -quick
+
+# Short fuzz passes over the wire-facing parsers.
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzReader -fuzztime 20s
+	$(GO) test ./internal/core -fuzz FuzzDecodeAppMsg -fuzztime 20s
+	$(GO) test ./internal/onion -fuzz FuzzParseConstructLayer -fuzztime 20s
+
+cover:
+	$(GO) test -cover ./...
+
+# Run every example program once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/anonmail
+	$(GO) run ./examples/webproxy
+	$(GO) run ./examples/covertraffic
+	$(GO) run ./examples/hiddenservice
+	$(GO) run ./examples/livedemo
+
+clean:
+	rm -rf data results_full.txt test_output.txt bench_output.txt

@@ -1,0 +1,97 @@
+// Command anonbench reproduces the paper's evaluation: every table and
+// figure of §6, at paper scale or in quick mode.
+//
+// Usage:
+//
+//	anonbench -list
+//	anonbench -exp tab1            # one experiment at paper scale
+//	anonbench -all -quick          # everything, reduced scale
+//	anonbench -all -seed 7 -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	rm "resilientmix"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment(s) to run, comma-separated (fig1..fig5, tab1..tab4, ext1..ext9)")
+		all    = flag.Bool("all", false, "run every experiment in order")
+		list   = flag.Bool("list", false, "list available experiments")
+		quick  = flag.Bool("quick", false, "reduced scale: smaller network, fewer trials, shorter runs")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		out    = flag.String("o", "", "write results to this file instead of stdout")
+		csvDir = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range rm.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if !*all && *expID == "" {
+		fmt.Fprintln(os.Stderr, "anonbench: need -exp <id> or -all (use -list to see experiments)")
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := rm.ExperimentOptions{Seed: *seed, Quick: *quick}
+	ids := rm.ExperimentIDs()
+	if !*all {
+		ids = strings.Split(*expID, ",")
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		id = strings.TrimSpace(id)
+		res, err := rm.RunExperiment(id, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Render(w); err != nil {
+			fatal(err)
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, id+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anonbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,220 @@
+// Command anonnode runs a live (real TCP, real cryptography) onion node
+// — the prototype deployment of the paper's protocol outside the
+// simulator.
+//
+// Generate a key pair:
+//
+//	anonnode -genkey -out node0.key
+//
+// Write a roster (repeat for each node, then merge by hand or script):
+//
+//	{"peers": [{"id": 0, "addr": "127.0.0.1:9000", "pub": "<hex>"}, ...]}
+//
+// Run a relay/responder:
+//
+//	anonnode -roster roster.json -key node1.key -id 1 -listen 127.0.0.1:9001
+//
+// Send an anonymous message through relays 1,2,3 to responder 4 and wait
+// for the reply:
+//
+//	anonnode -roster roster.json -key node0.key -id 0 -listen 127.0.0.1:9000 \
+//	         -send "hello" -relays 1,2,3 -to 4
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientmix/internal/livenet"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+)
+
+type keyFile struct {
+	Pub  string `json:"pub"`
+	Priv string `json:"priv"`
+}
+
+type rosterFile struct {
+	Peers []rosterPeer `json:"peers"`
+}
+
+type rosterPeer struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+	Pub  string `json:"pub"`
+}
+
+func main() {
+	var (
+		genkey  = flag.Bool("genkey", false, "generate a key pair and exit")
+		out     = flag.String("out", "", "output file for -genkey (default stdout)")
+		rosterP = flag.String("roster", "", "roster JSON file")
+		keyP    = flag.String("key", "", "this node's key file")
+		id      = flag.Int("id", -1, "this node's roster id")
+		listen  = flag.String("listen", "", "listen address (defaults to the roster entry)")
+		send    = flag.String("send", "", "client mode: message to send anonymously")
+		relays  = flag.String("relays", "", "client mode: comma-separated relay ids")
+		to      = flag.Int("to", -1, "client mode: responder id")
+		wait    = flag.Duration("wait", 10*time.Second, "client mode: how long to wait for a reply")
+	)
+	flag.Parse()
+
+	if *genkey {
+		doGenkey(*out)
+		return
+	}
+	if *rosterP == "" || *keyP == "" || *id < 0 {
+		fatal(fmt.Errorf("need -roster, -key and -id (or -genkey)"))
+	}
+
+	roster, err := loadRoster(*rosterP)
+	if err != nil {
+		fatal(err)
+	}
+	priv, err := loadKey(*keyP)
+	if err != nil {
+		fatal(err)
+	}
+	self := netsim.NodeID(*id)
+	addr := *listen
+	if addr == "" {
+		p, err := roster.Peer(self)
+		if err != nil {
+			fatal(err)
+		}
+		addr = p.Addr
+	}
+
+	cfg := livenet.Config{
+		ID:      self,
+		Roster:  roster,
+		Private: priv,
+		OnData: func(h livenet.ReplyHandle, data []byte) {
+			fmt.Printf("[%s] received %q via relay %d\n", time.Now().Format(time.TimeOnly), data, h.From())
+			if err := h.Reply(append([]byte("ack: "), data...)); err != nil {
+				fmt.Fprintln(os.Stderr, "reply failed:", err)
+			}
+		},
+	}
+	node, err := livenet.Start(addr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("node %d up at %s\n", self, node.Addr())
+
+	if *send == "" {
+		// Relay/responder mode: run until interrupted.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		fmt.Println("shutting down")
+		return
+	}
+
+	// Client mode.
+	if *relays == "" || *to < 0 {
+		fatal(fmt.Errorf("client mode needs -relays and -to"))
+	}
+	var relayIDs []netsim.NodeID
+	for _, part := range strings.Split(*relays, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad relay id %q: %w", part, err))
+		}
+		relayIDs = append(relayIDs, netsim.NodeID(v))
+	}
+	start := time.Now()
+	path, err := node.Construct(relayIDs, netsim.NodeID(*to))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("path established through %v in %v\n", relayIDs, time.Since(start).Round(time.Millisecond))
+	if err := path.Send([]byte(*send)); err != nil {
+		fatal(err)
+	}
+	select {
+	case reply := <-path.Replies():
+		fmt.Printf("reply: %q\n", reply)
+	case <-time.After(*wait):
+		fmt.Println("no reply within", *wait)
+		os.Exit(1)
+	}
+}
+
+func doGenkey(out string) {
+	kp, err := onioncrypt.ECIES{}.GenerateKeyPair(rand.Reader)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(keyFile{
+		Pub:  hex.EncodeToString(kp.Public),
+		Priv: hex.EncodeToString(kp.Private),
+	}, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(out, blob, 0o600); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", out)
+}
+
+func loadKey(path string) (onioncrypt.PrivateKey, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var kf keyFile
+	if err := json.Unmarshal(blob, &kf); err != nil {
+		return nil, fmt.Errorf("parsing key file: %w", err)
+	}
+	priv, err := hex.DecodeString(kf.Priv)
+	if err != nil {
+		return nil, fmt.Errorf("decoding private key: %w", err)
+	}
+	return priv, nil
+}
+
+func loadRoster(path string) (*livenet.Roster, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rf rosterFile
+	if err := json.Unmarshal(blob, &rf); err != nil {
+		return nil, fmt.Errorf("parsing roster: %w", err)
+	}
+	peers := make([]livenet.Peer, 0, len(rf.Peers))
+	for _, p := range rf.Peers {
+		pub, err := hex.DecodeString(p.Pub)
+		if err != nil {
+			return nil, fmt.Errorf("peer %d: decoding public key: %w", p.ID, err)
+		}
+		peers = append(peers, livenet.Peer{
+			ID:     netsim.NodeID(p.ID),
+			Addr:   p.Addr,
+			Public: pub,
+		})
+	}
+	return livenet.NewRoster(peers)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anonnode:", err)
+	os.Exit(1)
+}

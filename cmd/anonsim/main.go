@@ -1,0 +1,210 @@
+// Command anonsim runs a single configurable simulation of the
+// anonymizing network and reports the session-level outcome: setup
+// attempts, path durability, delivery latency and bandwidth. It is the
+// free-form counterpart to anonbench's fixed paper experiments.
+//
+// Usage:
+//
+//	anonsim -n 1024 -protocol simera -k 4 -r 4 -choice biased -median 1h
+//	anonsim -protocol curmix -choice random -seed 3 -dist exponential
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	rm "resilientmix"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1024, "number of nodes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		protoStr = flag.String("protocol", "simera", "protocol: curmix, simrep, simera")
+		k        = flag.Int("k", 4, "number of disjoint paths")
+		r        = flag.Int("r", 4, "replication factor")
+		l        = flag.Int("L", 3, "relays per path")
+		choice   = flag.String("choice", "biased", "mix choice: random, biased")
+		distStr  = flag.String("dist", "pareto", "lifetime distribution: pareto, exponential, uniform")
+		median   = flag.Duration("median", time.Hour, "median (pareto) / mean (exponential/uniform) node lifetime")
+		capDur   = flag.Duration("cap", time.Hour, "durability cap")
+		interval = flag.Duration("interval", 10*time.Second, "message interval")
+		msgSize  = flag.Int("msg", 1024, "message size in bytes")
+		member   = flag.String("membership", "oracle", "membership mode: oracle, gossip, onehop")
+		loss     = flag.Float64("loss", 0, "random per-message link loss probability [0,1]")
+		predict  = flag.Bool("predict", false, "enable proactive path replacement (§4.5 prediction)")
+		repair   = flag.Bool("repair", false, "enable §4.5 self-repair (probes + path reconstruction)")
+	)
+	flag.Parse()
+
+	var protocol rm.Protocol
+	switch strings.ToLower(*protoStr) {
+	case "curmix":
+		protocol = rm.CurMix
+	case "simrep":
+		protocol = rm.SimRep
+	case "simera":
+		protocol = rm.SimEra
+	default:
+		fatal(fmt.Errorf("unknown protocol %q", *protoStr))
+	}
+	var strategy rm.Strategy
+	switch strings.ToLower(*choice) {
+	case "random":
+		strategy = rm.Random
+	case "biased":
+		strategy = rm.Biased
+	default:
+		fatal(fmt.Errorf("unknown mix choice %q", *choice))
+	}
+	med := rm.Time(median.Microseconds())
+	var lifetime rm.LifetimeDist
+	var err error
+	switch strings.ToLower(*distStr) {
+	case "pareto":
+		lifetime, err = rm.ParetoLifetime(1, med)
+	case "exponential":
+		lifetime, err = rm.ExponentialLifetime(med)
+	case "uniform":
+		lifetime, err = rm.UniformLifetime(med/10, med*19/10)
+	default:
+		err = fmt.Errorf("unknown distribution %q", *distStr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var mode rm.MembershipMode
+	switch strings.ToLower(*member) {
+	case "oracle":
+		mode = rm.OracleMembership
+	case "gossip":
+		mode = rm.GossipMembership
+	case "onehop":
+		mode = rm.OneHopMembership
+	default:
+		fatal(fmt.Errorf("unknown membership mode %q", *member))
+	}
+	net, err := rm.NewNetwork(rm.NetworkConfig{
+		N:          *n,
+		Seed:       *seed,
+		Lifetime:   lifetime,
+		Pinned:     []rm.NodeID{0, 1},
+		Membership: mode,
+		LossRate:   *loss,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := net.StartChurn(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("network: %d nodes, %s lifetimes (%v median), %s membership, %.1f%% loss\n",
+		*n, *distStr, *median, *member, *loss*100)
+
+	// Warm up one hour so node ages and churn reach a realistic state.
+	net.Run(rm.Hour)
+
+	sess, err := net.NewSession(0, 1, rm.Params{
+		Protocol:             protocol,
+		K:                    *k,
+		R:                    *r,
+		L:                    *l,
+		Strategy:             strategy,
+		MaxEstablishAttempts: 500,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var established, concluded bool
+	var attempts int
+	sess.OnEstablished = func(ok bool, a int) { established, attempts, concluded = ok, a, true }
+	sess.Establish()
+	deadline := net.Eng.Now() + 2*rm.Hour
+	for !concluded && net.Eng.Now() < deadline {
+		net.Run(net.Eng.Now() + 10*rm.Second)
+	}
+	if !established {
+		fmt.Printf("establishment FAILED after %d attempts\n", attempts)
+		os.Exit(1)
+	}
+	fmt.Printf("established %s k=%d r=%d (%s choice) after %d attempt(s), %d live paths\n",
+		protocol, sess.Params().K, sess.Params().R, strategy, attempts, sess.AlivePaths())
+	if *predict {
+		sess.EnablePrediction(0.5, 30*rm.Second)
+		fmt.Println("proactive path replacement enabled (threshold q < 0.5)")
+	}
+	if *repair {
+		sess.EnableRepair(30 * rm.Second)
+		fmt.Println("self-repair enabled (30s probes, automatic path reconstruction)")
+	}
+
+	// Message loop until the set dies or the cap elapses.
+	start := sess.EstablishedAt()
+	end := start + rm.Time(capDur.Microseconds())
+	sent := make(map[uint64]rm.Time)
+	var latencies []float64
+	var delivered int
+	var lastDelivery rm.Time
+	net.Receivers[1].SetOnDelivered(func(mid uint64, _ []byte, at rm.Time) {
+		if s, ok := sent[mid]; ok {
+			delivered++
+			lastDelivery = at
+			latencies = append(latencies, (at-s).Seconds()*1000)
+		}
+	})
+	var deadAt rm.Time
+	sess.OnSetDead = func(at rm.Time) { deadAt = at }
+	tickEvery := rm.Time(interval.Microseconds())
+	msg := make([]byte, *msgSize)
+	var tick func()
+	tick = func() {
+		if net.Eng.Now() >= end || deadAt != 0 {
+			return
+		}
+		if mid, err := sess.SendMessage(msg); err == nil {
+			sent[mid] = net.Eng.Now()
+		}
+		net.Eng.Schedule(tickEvery, tick)
+	}
+	net.Eng.Schedule(0, tick)
+	net.Run(end + rm.Minute)
+
+	durability := (end - start).Seconds()
+	if deadAt != 0 && lastDelivery > 0 {
+		durability = (lastDelivery - start).Seconds()
+	} else if deadAt != 0 {
+		durability = (deadAt - start).Seconds()
+	}
+	st := sess.Stats()
+	fmt.Printf("\nresults over %d messages:\n", st.MessagesSent)
+	fmt.Printf("  durability       %.0f s%s\n", durability, capNote(deadAt))
+	fmt.Printf("  delivered        %d/%d\n", delivered, st.MessagesSent)
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		fmt.Printf("  mean latency     %.0f ms\n", sum/float64(len(latencies)))
+	}
+	if st.MessagesSent > 0 {
+		fmt.Printf("  bandwidth        %.1f KB/message\n", float64(st.DataFlow.Bytes)/float64(st.MessagesSent)/1024)
+	}
+	fmt.Printf("  construction     %.1f KB total, %d paths died, %d replaced\n",
+		float64(st.ConstructFlow.Bytes)/1024, st.PathsDied, st.PathsReplaced)
+}
+
+func capNote(deadAt rm.Time) string {
+	if deadAt == 0 {
+		return " (capped: path set survived)"
+	}
+	return ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anonsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Package resilientmix is a from-scratch reproduction of "Making
+// Peer-to-Peer Anonymous Routing Resilient to Failures" (Zhu & Hu,
+// IPPS 2007): failure-resilient anonymous routing for churning
+// peer-to-peer networks.
+//
+// The paper's idea is twofold. First, instead of trusting a single onion
+// path, the initiator erasure-codes each message into n segments, any m
+// of which reconstruct it, and spreads them over k node-disjoint onion
+// paths (the SimEra protocol) — tolerating up to k(1-1/r) path failures
+// at a bandwidth cost of roughly r = n/m times the message. Second,
+// relay nodes ("mixes") are not chosen at random but by a liveness
+// predictor derived from the heavy-tailed (Pareto) session-time
+// distribution of real P2P networks: nodes that have been up the longest
+// are the most likely to stay up ("biased mix choice").
+//
+// The package exposes:
+//
+//   - Network: a deterministic discrete-event simulation of a P2P
+//     anonymizing network — latency matrix, churn, gossip or oracle
+//     membership, PKI, onion relays — over which protocols run.
+//   - Session: one initiator's erasure-coded multipath communication
+//     with a responder under CurMix, SimRep or SimEra.
+//   - ErasureCode: the systematic Reed-Solomon coder usable standalone.
+//   - Liveness prediction and the paper's closed-form models
+//     (DeliveryProbability, InitiatorAnonymity) for capacity planning.
+//   - RunExperiment: the reproduction harnesses for every table and
+//     figure in the paper's evaluation.
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package resilientmix

@@ -1,0 +1,120 @@
+// Live demo: the paper's protocol over REAL TCP sockets and REAL
+// cryptography — no simulator. Ten onion nodes start in this process on
+// loopback; node 0 erasure-codes a message over four disjoint onion
+// paths (SimEra, k=4, r=2) to node 9; we then kill two relay processes'
+// worth of nodes and show the session still delivering, exactly the
+// resilience the paper promises.
+//
+//	go run ./examples/livedemo
+//
+// (For a genuinely multi-process deployment, see cmd/anonnode.)
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"resilientmix/internal/livenet"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+)
+
+func main() {
+	const n = 10
+	suite := onioncrypt.ECIES{}
+
+	// Keys and provisional roster.
+	keys := make([]onioncrypt.KeyPair, n)
+	peers := make([]livenet.Peer, n)
+	for i := range keys {
+		kp, err := suite.GenerateKeyPair(rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		keys[i] = kp
+		peers[i] = livenet.Peer{ID: netsim.NodeID(i), Addr: "pending", Public: kp.Public}
+	}
+
+	// The responder (node 9) reassembles erasure-coded messages.
+	delivered := make(chan string, 8)
+	collector := livenet.NewLiveCollector(func(mid uint64, data []byte) {
+		delivered <- string(data)
+	})
+
+	// Bind every listener on an ephemeral port with a provisional
+	// roster, then install the final roster (with real addresses) on all
+	// nodes.
+	provisional, err := livenet.NewRoster(peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := make([]*livenet.Node, n)
+	for i := range nodes {
+		cfg := livenet.Config{
+			ID:      netsim.NodeID(i),
+			Roster:  provisional,
+			Private: keys[i].Private,
+			Suite:   suite,
+		}
+		if i == 9 {
+			cfg.OnData = collector.Handle
+		}
+		node, err := livenet.Start("127.0.0.1:0", cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = node
+		peers[i].Addr = node.Addr()
+		defer node.Close()
+	}
+	final, err := livenet.NewRoster(peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, node := range nodes {
+		node.SetRoster(final)
+	}
+	fmt.Printf("%d live onion nodes up on loopback\n", n)
+
+	// SimEra over TCP: k=4 disjoint 2-relay paths, r=2 (any 2 paths
+	// reconstruct).
+	start := time.Now()
+	sess, err := nodes[0].NewLiveSession([][]netsim.NodeID{
+		{1, 2}, {3, 4}, {5, 6}, {7, 8},
+	}, 9, 2, 3*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Teardown()
+	fmt.Printf("4 onion paths constructed in %v (X25519 + AES-GCM per hop)\n",
+		time.Since(start).Round(time.Millisecond))
+
+	send := func(msg string) {
+		if _, err := sess.Send([]byte(msg)); err != nil {
+			log.Fatal(err)
+		}
+		select {
+		case got := <-delivered:
+			fmt.Printf("  delivered: %q (alive paths: %d)\n", got, sess.AlivePaths())
+		case <-time.After(5 * time.Second):
+			fmt.Println("  DELIVERY FAILED")
+		}
+	}
+
+	fmt.Println("sending with all 4 paths healthy:")
+	send("message #1 over 4/4 paths")
+
+	fmt.Println("killing relays 2 and 4 (two of four paths die)...")
+	nodes[2].Close()
+	nodes[4].Close()
+	send("message #2 despite 2 dead paths")
+	time.Sleep(4 * time.Second) // let the ack timeout mark the dead paths
+
+	fmt.Println("sending again on the surviving paths:")
+	send("message #3 on 2/4 paths")
+
+	fmt.Println("\nk(1-1/r) = 2 path failures tolerated, exactly as §4.10 promises —")
+	fmt.Println("on real sockets with real onions, not in the simulator.")
+}

@@ -1,0 +1,3 @@
+module resilientmix
+
+go 1.22

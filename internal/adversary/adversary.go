@@ -1,0 +1,153 @@
+// Package adversary implements the paper's attack model (§3) against
+// the real protocol stack: "the attacker controls a fraction of nodes.
+// These compromised nodes collude and share each other's information,
+// attempting to break other legitimate users' anonymity."
+//
+// The implementation mounts the predecessor analysis of §5: a
+// compromised relay records, for every path it participates in, the
+// node that sent it the construction onion. When the compromised relay
+// is the first relay of a path, that predecessor IS the initiator; when
+// it sits deeper, the predecessor is just another relay. The adversary
+// guesses that every observed predecessor is an initiator and we score
+// how often that is right — the empirical counterpart of Equation 4's
+// first term — plus the full Equation 4 estimate including the uniform
+// guess over honest nodes when no compromised relay sits on the path.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resilientmix/internal/netsim"
+)
+
+// Observation is one compromised relay's record of a path construction
+// it served: who handed it the onion, and (for scoring only, invisible
+// to the attacker) whether that predecessor was the true initiator.
+type Observation struct {
+	Relay       netsim.NodeID
+	Predecessor netsim.NodeID
+	// wasInitiator is ground truth used by the scorer, never by the
+	// attacker's guessing logic.
+	wasInitiator bool
+}
+
+// Adversary coordinates a colluding set of compromised nodes.
+type Adversary struct {
+	compromised map[netsim.NodeID]bool
+	observed    []Observation
+	// paths counts every path construction the experiment announced,
+	// including those no compromised node touched.
+	paths int
+}
+
+// New creates an adversary compromising the given nodes.
+func New(compromised []netsim.NodeID) *Adversary {
+	m := make(map[netsim.NodeID]bool, len(compromised))
+	for _, id := range compromised {
+		m[id] = true
+	}
+	return &Adversary{compromised: m}
+}
+
+// NewRandom compromises a fraction f of the n nodes, chosen uniformly,
+// excluding the listed nodes (e.g. designated honest endpoints).
+func NewRandom(rng *rand.Rand, n int, f float64, exclude ...netsim.NodeID) (*Adversary, error) {
+	if f < 0 || f >= 1 {
+		return nil, fmt.Errorf("adversary: fraction %g outside [0,1)", f)
+	}
+	skip := make(map[netsim.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	pool := make([]netsim.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if !skip[netsim.NodeID(i)] {
+			pool = append(pool, netsim.NodeID(i))
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	take := int(f * float64(n))
+	if take > len(pool) {
+		take = len(pool)
+	}
+	return New(pool[:take]), nil
+}
+
+// Compromised reports whether a node is controlled by the adversary.
+func (a *Adversary) Compromised(id netsim.NodeID) bool { return a.compromised[id] }
+
+// Count returns the number of compromised nodes.
+func (a *Adversary) Count() int { return len(a.compromised) }
+
+// ObservePath is called by the experiment for every constructed path:
+// the initiator and the ordered relay list. Each compromised relay on
+// the path records its predecessor (colluding nodes pool observations).
+func (a *Adversary) ObservePath(initiator netsim.NodeID, relays []netsim.NodeID) {
+	a.paths++
+	for i, relay := range relays {
+		if !a.compromised[relay] {
+			continue
+		}
+		pred := initiator
+		if i > 0 {
+			pred = relays[i-1]
+		}
+		a.observed = append(a.observed, Observation{
+			Relay:        relay,
+			Predecessor:  pred,
+			wasInitiator: i == 0,
+		})
+		// §5: "the attacker has no reason to suspect any node other
+		// than the one immediately preceding it" — deeper compromised
+		// relays add no further information about the initiator, so one
+		// observation per path suffices for the predecessor guess.
+		break
+	}
+}
+
+// Result scores the predecessor attack.
+type Result struct {
+	// Paths is the number of observed path constructions.
+	Paths int
+	// Touched is how many of them had a compromised relay.
+	Touched int
+	// FirstRelayHits is how many times the compromised relay was first
+	// on the path (its predecessor guess is certainly right) — the
+	// empirical P(Case 1 | touched).
+	FirstRelayHits int
+	// GuessAccuracy is the fraction of predecessor guesses that were
+	// actually the initiator, over touched paths.
+	GuessAccuracy float64
+	// InitiatorExposure estimates the §5 P(x = I): the probability the
+	// adversary's overall strategy (predecessor guess when touching the
+	// path, uniform guess over honest nodes otherwise) names the true
+	// initiator, over all paths.
+	InitiatorExposure float64
+}
+
+// Score evaluates the attack. honestNodes is N(1-f), the size of the
+// uniform-guess pool for untouched paths.
+func (a *Adversary) Score(honestNodes int) Result {
+	res := Result{Paths: a.paths, Touched: len(a.observed)}
+	if res.Touched > 0 {
+		hits := 0
+		for _, o := range a.observed {
+			if o.wasInitiator {
+				hits++
+			}
+		}
+		res.FirstRelayHits = hits
+		res.GuessAccuracy = float64(hits) / float64(res.Touched)
+	}
+	if a.paths > 0 && honestNodes > 0 {
+		// Touched paths: the predecessor guess is right exactly when the
+		// compromised relay sat first. Touched-but-deeper guesses name a
+		// relay, which is simply wrong. Untouched paths fall back to the
+		// uniform guess over the N(1-f) honest nodes.
+		correct := float64(res.FirstRelayHits)
+		untouched := float64(a.paths - res.Touched)
+		res.InitiatorExposure = (correct + untouched/float64(honestNodes)) / float64(a.paths)
+	}
+	return res
+}

@@ -1,0 +1,139 @@
+package adversary
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientmix/internal/analytic"
+	"resilientmix/internal/netsim"
+)
+
+func TestNewRandomValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandom(rng, 100, -0.1); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := NewRandom(rng, 100, 1.0); err == nil {
+		t.Error("f=1 accepted")
+	}
+}
+
+func TestNewRandomFractionAndExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	adv, err := NewRandom(rng, 1000, 0.2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Count() != 200 {
+		t.Fatalf("compromised %d nodes, want 200", adv.Count())
+	}
+	if adv.Compromised(0) || adv.Compromised(1) {
+		t.Fatal("excluded node was compromised")
+	}
+}
+
+func TestObservePathRecordsPredecessor(t *testing.T) {
+	adv := New([]netsim.NodeID{5})
+	adv.ObservePath(1, []netsim.NodeID{5, 6, 7}) // compromised first: sees initiator
+	adv.ObservePath(2, []netsim.NodeID{8, 5, 9}) // compromised second: sees relay 8
+	adv.ObservePath(3, []netsim.NodeID{8, 6, 9}) // untouched
+	res := adv.Score(100)
+	if res.Paths != 3 || res.Touched != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.FirstRelayHits != 1 {
+		t.Fatalf("first-relay hits = %d, want 1", res.FirstRelayHits)
+	}
+	if math.Abs(res.GuessAccuracy-0.5) > 1e-12 {
+		t.Fatalf("accuracy = %g, want 0.5", res.GuessAccuracy)
+	}
+}
+
+func TestOnlyOneObservationPerPath(t *testing.T) {
+	// Two colluding relays on one path still yield a single predecessor
+	// observation — the first one, per the §5 analysis.
+	adv := New([]netsim.NodeID{5, 6})
+	adv.ObservePath(1, []netsim.NodeID{5, 6, 7})
+	if len(adv.observed) != 1 {
+		t.Fatalf("observations = %d, want 1", len(adv.observed))
+	}
+	if adv.observed[0].Relay != 5 || !adv.observed[0].wasInitiator {
+		t.Fatalf("observation = %+v", adv.observed[0])
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	adv := New(nil)
+	res := adv.Score(100)
+	if res.InitiatorExposure != 0 || res.GuessAccuracy != 0 {
+		t.Fatalf("empty score = %+v", res)
+	}
+}
+
+func TestExposureMatchesExactEquation4(t *testing.T) {
+	// Monte Carlo over random paths: the empirical initiator exposure
+	// must converge to the exact Eq. 4 (Case-1 probability = f) and
+	// upper-bound the paper's published variant.
+	const (
+		n      = 1000
+		l      = 3
+		trials = 60000
+	)
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []float64{0.05, 0.1, 0.2} {
+		adv, err := NewRandom(rng, n, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		honest := make([]netsim.NodeID, 0, n)
+		for i := 0; i < n; i++ {
+			if !adv.Compromised(netsim.NodeID(i)) {
+				honest = append(honest, netsim.NodeID(i))
+			}
+		}
+		for trial := 0; trial < trials; trial++ {
+			initiator := honest[rng.Intn(len(honest))]
+			relays := make([]netsim.NodeID, l)
+			for j := range relays {
+				relays[j] = netsim.NodeID(rng.Intn(n))
+			}
+			adv.ObservePath(initiator, relays)
+		}
+		res := adv.Score(len(honest))
+		exact, err := analytic.InitiatorProbabilityExact(n, f, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.InitiatorExposure-exact) > 0.01 {
+			t.Fatalf("f=%g: empirical exposure %g, exact Eq.4 %g", f, res.InitiatorExposure, exact)
+		}
+		published, err := analytic.InitiatorProbability(n, f, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InitiatorExposure+0.01 < published {
+			t.Fatalf("f=%g: empirical %g below published bound %g", f, res.InitiatorExposure, published)
+		}
+	}
+}
+
+func TestExposureGrowsWithFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	prev := -1.0
+	for _, f := range []float64{0.05, 0.15, 0.3} {
+		adv, _ := NewRandom(rng, 500, f)
+		for trial := 0; trial < 20000; trial++ {
+			relays := make([]netsim.NodeID, 3)
+			for j := range relays {
+				relays[j] = netsim.NodeID(rng.Intn(500))
+			}
+			adv.ObservePath(netsim.NodeID(rng.Intn(500)), relays)
+		}
+		res := adv.Score(500 - adv.Count())
+		if res.InitiatorExposure <= prev {
+			t.Fatalf("exposure not increasing in f: %g at f=%g", res.InitiatorExposure, f)
+		}
+		prev = res.InitiatorExposure
+	}
+}

@@ -1,0 +1,181 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/sim"
+)
+
+// TimingCorrelator mounts the statistical attack of §4.6: a passive
+// observer watching a fraction of the network's links correlates send
+// activity with the times a (compromised or observed) responder
+// reconstructs messages. A node that consistently transmits shortly
+// before every reconstruction is probably the initiator. Cover traffic
+// is the paper's defence: when every node transmits all the time, the
+// correlation washes out.
+//
+// The correlator only uses information a real attacker has: link
+// endpoints and timestamps from tapped links (never payloads), plus the
+// reconstruction times at the responder it controls.
+type TimingCorrelator struct {
+	n      int
+	window sim.Time
+	// observed[a] reports whether node a's outgoing links are tapped.
+	observed []bool
+	// sends[x] holds the (sorted, append-ordered) times node x was seen
+	// placing a message on a tapped link.
+	sends [][]sim.Time
+	// deliveries are the reconstruction times at the victim responder.
+	deliveries []sim.Time
+}
+
+// NewTimingCorrelator creates an observer tapping each node's outgoing
+// links independently with probability coverage (§3: "the attacker can
+// observe some fraction of network traffics").
+func NewTimingCorrelator(rng *rand.Rand, n int, coverage float64, window sim.Time) (*TimingCorrelator, error) {
+	if coverage < 0 || coverage > 1 {
+		return nil, fmt.Errorf("adversary: coverage %g outside [0,1]", coverage)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("adversary: correlation window must be positive")
+	}
+	tc := &TimingCorrelator{
+		n:        n,
+		window:   window,
+		observed: make([]bool, n),
+		sends:    make([][]sim.Time, n),
+	}
+	for i := range tc.observed {
+		tc.observed[i] = rng.Float64() < coverage
+	}
+	return tc, nil
+}
+
+// Tap returns the netsim tap feeding this correlator; now must report
+// the network's current virtual time.
+func (tc *TimingCorrelator) Tap(now func() sim.Time) netsim.Tap {
+	return func(from, _ netsim.NodeID, _ netsim.Message) {
+		if tc.observed[from] {
+			tc.sends[from] = append(tc.sends[from], now())
+		}
+	}
+}
+
+// ObserveDelivery records a message reconstruction at the victim
+// responder (the attacker controls or watches it).
+func (tc *TimingCorrelator) ObserveDelivery(at sim.Time) {
+	tc.deliveries = append(tc.deliveries, at)
+}
+
+// Deliveries returns the number of recorded reconstructions.
+func (tc *TimingCorrelator) Deliveries() int { return len(tc.deliveries) }
+
+// Suspect is one node's correlation score.
+type Suspect struct {
+	ID netsim.NodeID
+	// Score is the fraction of deliveries preceded (within the window)
+	// by a transmission from this node.
+	Score float64
+}
+
+// Rank scores every observed node and returns suspects in decreasing
+// score order (ties broken by ID for determinism). Nodes in exclude
+// (e.g. the responder itself and known relays of the attacker) are
+// skipped.
+func (tc *TimingCorrelator) Rank(exclude ...netsim.NodeID) []Suspect {
+	skip := make(map[netsim.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	var out []Suspect
+	for x := 0; x < tc.n; x++ {
+		id := netsim.NodeID(x)
+		if !tc.observed[x] || skip[id] {
+			continue
+		}
+		out = append(out, Suspect{ID: id, Score: tc.score(tc.sends[x])})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// score computes the fraction of deliveries with at least one send from
+// the candidate within [t-window, t].
+func (tc *TimingCorrelator) score(sends []sim.Time) float64 {
+	if len(tc.deliveries) == 0 || len(sends) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, t := range tc.deliveries {
+		lo := t - tc.window
+		// sends is time-ordered (events are recorded in simulation
+		// order), so binary search for the window.
+		i := sort.Search(len(sends), func(i int) bool { return sends[i] >= lo })
+		if i < len(sends) && sends[i] <= t {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(tc.deliveries))
+}
+
+// TopSuspect returns the highest-ranked suspect, or false if the
+// correlator observed nothing useful.
+func (tc *TimingCorrelator) TopSuspect(exclude ...netsim.NodeID) (Suspect, bool) {
+	ranked := tc.Rank(exclude...)
+	if len(ranked) == 0 || ranked[0].Score == 0 {
+		return Suspect{}, false
+	}
+	return ranked[0], true
+}
+
+// Ambiguity returns the number of observed nodes whose score ties the
+// top suspect's — the size of the attacker's candidate set. With
+// effective cover traffic this approaches the number of covering nodes.
+func (tc *TimingCorrelator) Ambiguity(exclude ...netsim.NodeID) int {
+	ranked := tc.Rank(exclude...)
+	if len(ranked) == 0 {
+		return 0
+	}
+	top := ranked[0].Score
+	count := 0
+	for _, s := range ranked {
+		if s.Score >= top-1e-12 {
+			count++
+		}
+	}
+	return count
+}
+
+// SuccessProbability returns the attacker's probability of naming the
+// true initiator: 1/|top tie set| if the initiator is in it (the
+// attacker must guess uniformly among ties), else 0. This is the honest
+// score — deterministic tie-breaking would smuggle in ID bias.
+func (tc *TimingCorrelator) SuccessProbability(initiator netsim.NodeID, exclude ...netsim.NodeID) float64 {
+	ranked := tc.Rank(exclude...)
+	if len(ranked) == 0 || ranked[0].Score == 0 {
+		return 0
+	}
+	top := ranked[0].Score
+	count := 0
+	inTop := false
+	for _, s := range ranked {
+		if s.Score >= top-1e-12 {
+			count++
+			if s.ID == initiator {
+				inTop = true
+			}
+		}
+	}
+	if !inTop {
+		return 0
+	}
+	return 1 / float64(count)
+}

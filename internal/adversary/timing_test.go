@@ -1,0 +1,142 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/sim"
+)
+
+func TestTimingCorrelatorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewTimingCorrelator(rng, 10, -0.1, sim.Second); err == nil {
+		t.Error("negative coverage accepted")
+	}
+	if _, err := NewTimingCorrelator(rng, 10, 1.1, sim.Second); err == nil {
+		t.Error("coverage > 1 accepted")
+	}
+	if _, err := NewTimingCorrelator(rng, 10, 0.5, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// feed simulates observations directly (unit level; the integration with
+// netsim is exercised by the ext5 experiment test).
+func TestTimingCorrelatorIdentifiesLoneSender(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tc, err := NewTimingCorrelator(rng, 8, 1.0, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	tap := tc.Tap(func() sim.Time { return now })
+	// Node 3 sends 100ms before each of 10 deliveries; node 5 sends at
+	// unrelated times.
+	for i := 0; i < 10; i++ {
+		base := sim.Time(i) * 10 * sim.Second
+		now = base
+		tap(3, 0, netsim.Message{})
+		now = base + 3*sim.Second
+		tap(5, 0, netsim.Message{})
+		tc.ObserveDelivery(base + 100*sim.Millisecond)
+	}
+	top, ok := tc.TopSuspect(0)
+	if !ok {
+		t.Fatal("no suspect")
+	}
+	if top.ID != 3 || top.Score != 1 {
+		t.Fatalf("top suspect %+v, want node 3 at score 1", top)
+	}
+	if tc.Ambiguity(0) != 1 {
+		t.Fatalf("ambiguity = %d, want 1", tc.Ambiguity(0))
+	}
+}
+
+func TestTimingCorrelatorCoverWashesOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tc, err := NewTimingCorrelator(rng, 16, 1.0, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	tap := tc.Tap(func() sim.Time { return now })
+	// Every node sends right before every delivery (perfect cover).
+	for i := 0; i < 10; i++ {
+		base := sim.Time(i) * 10 * sim.Second
+		for x := 0; x < 16; x++ {
+			now = base
+			tap(netsim.NodeID(x), 0, netsim.Message{})
+		}
+		tc.ObserveDelivery(base + 100*sim.Millisecond)
+	}
+	if amb := tc.Ambiguity(0); amb != 15 { // all observed nodes except the excluded responder
+		t.Fatalf("ambiguity = %d, want 15 under perfect cover", amb)
+	}
+}
+
+func TestTimingCorrelatorWindowMatters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tc, _ := NewTimingCorrelator(rng, 4, 1.0, sim.Second)
+	now := sim.Time(0)
+	tap := tc.Tap(func() sim.Time { return now })
+	// A send 2s before the delivery is outside the 1s window.
+	now = 0
+	tap(1, 0, netsim.Message{})
+	tc.ObserveDelivery(2 * sim.Second)
+	if _, ok := tc.TopSuspect(); ok {
+		t.Fatal("out-of-window send correlated")
+	}
+	// A send after the delivery must not correlate either.
+	now = 5 * sim.Second
+	tap(2, 0, netsim.Message{})
+	tc.ObserveDelivery(4 * sim.Second)
+	ranked := tc.Rank()
+	for _, s := range ranked {
+		if s.Score > 0 {
+			t.Fatalf("non-causal correlation: %+v", s)
+		}
+	}
+}
+
+func TestTimingCorrelatorPartialCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tc, _ := NewTimingCorrelator(rng, 1000, 0.3, sim.Second)
+	observed := 0
+	for _, o := range tc.observed {
+		if o {
+			observed++
+		}
+	}
+	if observed < 230 || observed > 370 {
+		t.Fatalf("observed %d/1000 nodes at coverage 0.3", observed)
+	}
+	// An unobserved sender can never be ranked.
+	unob := netsim.NodeID(0)
+	for i, o := range tc.observed {
+		if !o {
+			unob = netsim.NodeID(i)
+			break
+		}
+	}
+	now := sim.Time(0)
+	tap := tc.Tap(func() sim.Time { return now })
+	tap(unob, 1, netsim.Message{})
+	tc.ObserveDelivery(100 * sim.Millisecond)
+	for _, s := range tc.Rank() {
+		if s.ID == unob {
+			t.Fatal("unobserved node was ranked")
+		}
+	}
+}
+
+func TestTimingCorrelatorEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tc, _ := NewTimingCorrelator(rng, 4, 1.0, sim.Second)
+	if _, ok := tc.TopSuspect(); ok {
+		t.Fatal("suspect from no data")
+	}
+	if tc.Deliveries() != 0 {
+		t.Fatal("phantom deliveries")
+	}
+}

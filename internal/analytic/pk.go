@@ -1,0 +1,104 @@
+// Package analytic provides the paper's closed-form models: the
+// multipath delivery probability P(k) and the three allocation
+// observations of §4.7, the initiator-anonymity bound of §5 (Equation
+// 4), and the bandwidth model used to cross-check the simulator.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// PathSuccessProb returns p = pa^L, the probability that a path of L
+// relays is fully available when each node is independently available
+// with probability pa (§4.7; the responder is assumed available).
+func PathSuccessProb(pa float64, l int) float64 {
+	if l < 0 {
+		panic("analytic: negative path length")
+	}
+	return math.Pow(pa, float64(l))
+}
+
+// PSuccess returns P(k): the probability that at least k/r of k paths
+// succeed, where each path independently succeeds with probability p —
+// i.e. the SimEra delivery probability
+//
+//	P(k) = Σ_{i=k/r}^{k} C(k,i) p^i (1-p)^{k-i}
+//
+// k must be a positive multiple of r (the paper's simplifying
+// assumption).
+func PSuccess(k, r int, p float64) (float64, error) {
+	if r < 1 || k < 1 || k%r != 0 {
+		return 0, fmt.Errorf("analytic: k=%d must be a positive multiple of r=%d", k, r)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("analytic: path success probability %g outside [0,1]", p)
+	}
+	need := k / r
+	return binomialTail(k, need, p), nil
+}
+
+// binomialTail returns P(X >= need) for X ~ Binomial(k, p), computed in
+// log space for numerical robustness at large k.
+func binomialTail(k, need int, p float64) float64 {
+	if need <= 0 {
+		return 1
+	}
+	if p == 0 {
+		return 0
+	}
+	if p == 1 {
+		return 1
+	}
+	var sum float64
+	for i := need; i <= k; i++ {
+		sum += math.Exp(logChoose(k, i) + float64(i)*math.Log(p) + float64(k-i)*math.Log(1-p))
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// Observation identifies which of the paper's three §4.7 regimes the
+// pair (p, r) falls into.
+type Observation int
+
+// The three regimes.
+const (
+	// Observation1: pr > 4/3 — P(k) increases in k everywhere; split
+	// across as many paths as possible.
+	Observation1 Observation = 1
+	// Observation2: 1 < pr <= 4/3 — P(k) dips then rises; splitting
+	// helps only for large enough k.
+	Observation2 Observation = 2
+	// Observation3: pr <= 1 — P(k) decreases in k; never split beyond r
+	// paths.
+	Observation3 Observation = 3
+)
+
+// String names the observation.
+func (o Observation) String() string { return fmt.Sprintf("Observation %d", int(o)) }
+
+// ClassifyObservation returns the §4.7 regime for a path success
+// probability p and replication factor r.
+func ClassifyObservation(p float64, r int) Observation {
+	pr := p * float64(r)
+	switch {
+	case pr > 4.0/3.0:
+		return Observation1
+	case pr > 1:
+		return Observation2
+	default:
+		return Observation3
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"resilientmix/internal/erasure"
+	"resilientmix/internal/metrics"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onion"
+	"resilientmix/internal/sim"
+)
+
+// DeliveredFunc is invoked when the receiver reconstructs a message: the
+// message ID, the reassembled bytes, and the virtual time of
+// reconstruction.
+type DeliveredFunc func(mid uint64, data []byte, at sim.Time)
+
+// inboundTTL bounds how long partial and reconstructed messages are
+// buffered. Reconstructed entries must outlive realistic reply delays
+// (an anonymous mailbox answers minutes later over the cached reverse
+// handles), so this is deliberately generous; memory is bounded by the
+// sweep either way.
+const inboundTTL = 30 * sim.Minute
+
+// Receiver is the responder-side application: it collects coded
+// segments by message ID, acknowledges each (feeding the initiator's
+// failure detector), reconstructs the message once m distinct segments
+// arrived (§4.2), and can erasure-code a response back over the
+// delivering paths.
+type Receiver struct {
+	id  netsim.NodeID
+	eng *sim.Engine
+
+	onDelivered DeliveredFunc
+	ackSegments bool
+	hooks       serviceHooks
+
+	pending   map[uint64]*inbound
+	delivered uint64
+	badSegs   uint64
+}
+
+// serviceHooks is implemented by a Rendezvous attached to this node.
+type serviceHooks interface {
+	handleRegister(h onion.ReplyHandle, msg registerMsg)
+	handleService(h onion.ReplyHandle, msg serviceSegMsg)
+}
+
+// setServiceHooks installs the rendezvous handlers.
+func (r *Receiver) setServiceHooks(h serviceHooks) { r.hooks = h }
+
+type inbound struct {
+	needed, total int32
+	segs          map[int32]erasure.Segment
+	handles       []onion.ReplyHandle // one per distinct delivering path
+	handleSeen    map[netsim.NodeID]map[onion.StreamID]bool
+	done          bool
+	firstAt       sim.Time
+	expires       sim.Time
+}
+
+// NewReceiver creates the responder application for a node.
+func NewReceiver(id netsim.NodeID, eng *sim.Engine, onDelivered DeliveredFunc) *Receiver {
+	r := &Receiver{
+		id:          id,
+		eng:         eng,
+		onDelivered: onDelivered,
+		ackSegments: true,
+		pending:     make(map[uint64]*inbound),
+	}
+	eng.Every(inboundTTL, inboundTTL, r.sweep)
+	return r
+}
+
+// Delivered returns the number of reconstructed messages.
+func (r *Receiver) Delivered() uint64 { return r.delivered }
+
+// SetOnDelivered replaces the delivery callback.
+func (r *Receiver) SetOnDelivered(f DeliveredFunc) { r.onDelivered = f }
+
+func (r *Receiver) sweep() {
+	now := r.eng.Now()
+	for mid, in := range r.pending {
+		if in.expires <= now {
+			delete(r.pending, mid)
+		}
+	}
+}
+
+// HandleData is the onion.DataFunc for this node: it decodes an
+// application payload and processes segments and probes.
+func (r *Receiver) HandleData(h onion.ReplyHandle, plain []byte) {
+	msg, err := decodeAppMsg(plain)
+	if err != nil {
+		r.badSegs++
+		return
+	}
+	if msg.kind == kindProbe {
+		// Probes are acknowledged but never delivered.
+		h.Reply(segAckMsg{MID: msg.probe.MID, Index: msg.probe.Index}.encode(), h.Flow)
+		return
+	}
+	if msg.kind == kindRegister || msg.kind == kindToService || msg.kind == kindServiceReply {
+		if r.hooks != nil {
+			if msg.kind == kindRegister {
+				r.hooks.handleRegister(h, msg.register)
+			} else {
+				r.hooks.handleService(h, msg.service)
+			}
+		} else {
+			r.badSegs++ // service traffic at a node running no rendezvous
+		}
+		return
+	}
+	if msg.kind != kindSegment {
+		r.badSegs++
+		return
+	}
+	seg := msg.seg
+	if !validCodeShape(seg.Needed, seg.Total) || seg.Index < 0 || seg.Index >= seg.Total {
+		r.badSegs++
+		return
+	}
+	in, ok := r.pending[seg.MID]
+	if !ok {
+		in = &inbound{
+			needed:     seg.Needed,
+			total:      seg.Total,
+			segs:       make(map[int32]erasure.Segment),
+			handleSeen: make(map[netsim.NodeID]map[onion.StreamID]bool),
+			firstAt:    r.eng.Now(),
+		}
+		r.pending[seg.MID] = in
+	}
+	in.expires = r.eng.Now() + inboundTTL
+	if in.needed != seg.Needed || in.total != seg.Total {
+		r.badSegs++ // inconsistent shape across segments of one MID
+		return
+	}
+	if _, dup := in.segs[seg.Index]; !dup {
+		in.segs[seg.Index] = erasure.Segment{Index: int(seg.Index), Data: seg.Data}
+	}
+	r.rememberHandle(in, h)
+	if r.ackSegments {
+		h.Reply(segAckMsg{MID: seg.MID, Index: seg.Index}.encode(), h.Flow)
+	}
+	if !in.done && int32(len(in.segs)) >= in.needed {
+		r.reconstruct(seg.MID, in, h.Flow)
+	}
+}
+
+func (r *Receiver) rememberHandle(in *inbound, h onion.ReplyHandle) {
+	// Track one handle per distinct (terminal relay, stream): these are
+	// the reverse paths a response can use.
+	relay := h.From()
+	streams := in.handleSeen[relay]
+	if streams == nil {
+		streams = make(map[onion.StreamID]bool)
+		in.handleSeen[relay] = streams
+	}
+	key := h.StreamID()
+	if !streams[key] {
+		streams[key] = true
+		in.handles = append(in.handles, h)
+	}
+}
+
+func (r *Receiver) reconstruct(mid uint64, in *inbound, flow *metrics.Flow) {
+	code, err := erasure.New(int(in.needed), int(in.total))
+	if err != nil {
+		r.badSegs++
+		return
+	}
+	segs := make([]erasure.Segment, 0, len(in.segs))
+	for _, s := range in.segs {
+		segs = append(segs, s)
+	}
+	data, err := code.Reconstruct(segs)
+	if err != nil {
+		r.badSegs++
+		return
+	}
+	in.done = true
+	r.delivered++
+	if r.onDelivered != nil {
+		r.onDelivered(mid, data, r.eng.Now())
+	}
+}
+
+// Respond erasure-codes a response with the same shape as the request
+// and sends the segments back over the reverse paths that delivered the
+// request, distributed round-robin (§4.2: "sends the message segments
+// back over the k paths"). It returns the number of segments sent.
+func (r *Receiver) Respond(mid uint64, data []byte, flow *metrics.Flow) (int, error) {
+	in, ok := r.pending[mid]
+	if !ok || !in.done {
+		return 0, fmt.Errorf("core: no reconstructed message %d to respond to", mid)
+	}
+	if len(in.handles) == 0 {
+		return 0, fmt.Errorf("core: no reverse paths for message %d", mid)
+	}
+	code, err := erasure.New(int(in.needed), int(in.total))
+	if err != nil {
+		return 0, err
+	}
+	segs, err := code.Split(data)
+	if err != nil {
+		return 0, err
+	}
+	sent := 0
+	for i, s := range segs {
+		h := in.handles[i%len(in.handles)]
+		msg := respSegMsg{
+			MID:    mid,
+			Index:  int32(s.Index),
+			Total:  in.total,
+			Needed: in.needed,
+			Data:   s.Data,
+		}
+		if h.Reply(msg.encode(), flow) {
+			sent++
+		}
+	}
+	return sent, nil
+}

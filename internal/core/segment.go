@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"resilientmix/internal/erasure"
+	"resilientmix/internal/wire"
+)
+
+// Application-layer message kinds carried inside the onions.
+const (
+	kindSegment byte = 1 // initiator → responder: one coded segment
+	kindSegAck  byte = 2 // responder → initiator: segment received
+	kindRespSeg byte = 3 // responder → initiator: one coded response segment
+	kindProbe   byte = 4 // initiator → responder: path liveness probe
+
+	// Mutual-anonymity kinds (§3's "additional level of redirection"):
+	// both endpoints hide behind their own onion paths to a rendezvous
+	// node that glues the two path sets together.
+	kindRegister     byte = 5 // hidden responder → rendezvous: register a service tag
+	kindToService    byte = 6 // initiator → rendezvous: coded segment for a tag
+	kindInbound      byte = 7 // rendezvous → either endpoint (reverse path): forwarded segment
+	kindServiceReply byte = 8 // hidden responder → rendezvous: coded reply segment
+)
+
+// segmentMsg is one coded message segment (§4.2): the message ID that
+// lets the responder correlate segments, the segment's index, the code
+// shape (n, m) needed to rebuild the decoder, and the coded bytes.
+type segmentMsg struct {
+	MID    uint64
+	Index  int32
+	Total  int32 // n
+	Needed int32 // m
+	Data   []byte
+}
+
+func (s segmentMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(kindSegment)
+	w.Uint64(s.MID)
+	w.Int32(s.Index)
+	w.Int32(s.Total)
+	w.Int32(s.Needed)
+	w.Bytes32(s.Data)
+	return w.Bytes()
+}
+
+// segmentWireOverhead is the encoding overhead of a segmentMsg beyond
+// its data bytes.
+const segmentWireOverhead = 1 + 8 + 4 + 4 + 4 + 4
+
+// segAckMsg acknowledges one received segment (§4.5's end-to-end acks).
+type segAckMsg struct {
+	MID   uint64
+	Index int32
+}
+
+func (s segAckMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(kindSegAck)
+	w.Uint64(s.MID)
+	w.Int32(s.Index)
+	return w.Bytes()
+}
+
+// probeMsg is a per-path liveness probe: the responder acknowledges it
+// like a segment but never delivers anything to the application. Probes
+// double as the §4.3 path-refreshing messages ("the payload messages can
+// serve the purpose of refreshing messages").
+type probeMsg struct {
+	MID   uint64
+	Index int32 // the probed path slot
+}
+
+func (p probeMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(kindProbe)
+	w.Uint64(p.MID)
+	w.Int32(p.Index)
+	return w.Bytes()
+}
+
+// respSegMsg is one coded segment of a response message, correlated to
+// the request by MID.
+type respSegMsg struct {
+	MID    uint64
+	Index  int32
+	Total  int32
+	Needed int32
+	Data   []byte
+}
+
+func (s respSegMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(kindRespSeg)
+	w.Uint64(s.MID)
+	w.Int32(s.Index)
+	w.Int32(s.Total)
+	w.Int32(s.Needed)
+	w.Bytes32(s.Data)
+	return w.Bytes()
+}
+
+// registerMsg announces a hidden service at a rendezvous node. Each
+// copy arriving over a distinct path gives the rendezvous one reverse
+// handle toward the (anonymous) service.
+type registerMsg struct {
+	Tag uint64
+}
+
+func (r registerMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(kindRegister)
+	w.Uint64(r.Tag)
+	return w.Bytes()
+}
+
+// serviceSegMsg is one coded segment traveling initiator → rendezvous
+// (kindToService), rendezvous → endpoint (kindInbound), or hidden
+// responder → rendezvous (kindServiceReply). Conv correlates the
+// conversation across the two path sets; Tag routes kindToService.
+type serviceSegMsg struct {
+	Kind   byte
+	Tag    uint64 // kindToService only
+	Conv   uint64
+	Index  int32
+	Total  int32
+	Needed int32
+	Data   []byte
+}
+
+func (s serviceSegMsg) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(s.Kind)
+	w.Uint64(s.Tag)
+	w.Uint64(s.Conv)
+	w.Int32(s.Index)
+	w.Int32(s.Total)
+	w.Int32(s.Needed)
+	w.Bytes32(s.Data)
+	return w.Bytes()
+}
+
+// appMsg is the decoded union of the application message kinds.
+type appMsg struct {
+	kind     byte
+	seg      segmentMsg
+	ack      segAckMsg
+	resp     respSegMsg
+	probe    probeMsg
+	register registerMsg
+	service  serviceSegMsg
+}
+
+// decodeAppMsg parses an application payload.
+func decodeAppMsg(b []byte) (appMsg, error) {
+	rd := wire.NewReader(b)
+	kind := rd.Byte()
+	var m appMsg
+	m.kind = kind
+	switch kind {
+	case kindSegment:
+		m.seg = segmentMsg{
+			MID:    rd.Uint64(),
+			Index:  rd.Int32(),
+			Total:  rd.Int32(),
+			Needed: rd.Int32(),
+		}
+		m.seg.Data = append([]byte(nil), rd.Bytes32()...)
+	case kindSegAck:
+		m.ack = segAckMsg{MID: rd.Uint64(), Index: rd.Int32()}
+	case kindProbe:
+		m.probe = probeMsg{MID: rd.Uint64(), Index: rd.Int32()}
+	case kindRegister:
+		m.register = registerMsg{Tag: rd.Uint64()}
+	case kindToService, kindInbound, kindServiceReply:
+		m.service = serviceSegMsg{
+			Kind:   kind,
+			Tag:    rd.Uint64(),
+			Conv:   rd.Uint64(),
+			Index:  rd.Int32(),
+			Total:  rd.Int32(),
+			Needed: rd.Int32(),
+		}
+		m.service.Data = append([]byte(nil), rd.Bytes32()...)
+	case kindRespSeg:
+		m.resp = respSegMsg{
+			MID:    rd.Uint64(),
+			Index:  rd.Int32(),
+			Total:  rd.Int32(),
+			Needed: rd.Int32(),
+		}
+		m.resp.Data = append([]byte(nil), rd.Bytes32()...)
+	default:
+		return appMsg{}, fmt.Errorf("core: unknown application message kind %d", kind)
+	}
+	if err := rd.Done(); err != nil {
+		return appMsg{}, fmt.Errorf("core: malformed application message: %w", err)
+	}
+	return m, nil
+}
+
+// validCodeShape checks advertised code dimensions before building a
+// decoder from untrusted input.
+func validCodeShape(needed, total int32) bool {
+	return needed >= 1 && total >= needed && total <= int32(erasure.MaxSegments)
+}

@@ -1,0 +1,688 @@
+package core
+
+import (
+	"fmt"
+
+	"resilientmix/internal/erasure"
+	"resilientmix/internal/membership"
+	"resilientmix/internal/metrics"
+	"resilientmix/internal/mixchoice"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onion"
+	"resilientmix/internal/sim"
+)
+
+// SessionStats aggregates a session's activity.
+type SessionStats struct {
+	EstablishAttempts int
+	MessagesSent      int
+	SegmentsSent      int
+	SegmentsAcked     int
+	PathsDied         int
+	PathsReplaced     int
+	ResponsesReceived int
+	ConstructFlow     metrics.Flow // bandwidth of all construction traffic
+	DataFlow          metrics.Flow // bandwidth of all payload traffic
+}
+
+// Session is an initiator's communication session with one responder
+// under one protocol configuration: it owns the k path slots, splits
+// messages into coded segments, allocates them to paths, tracks
+// end-to-end acknowledgments to detect path failures, and optionally
+// replaces paths proactively when liveness prediction flags a relay
+// (§4.5).
+type Session struct {
+	w         *World
+	self      netsim.NodeID
+	responder netsim.NodeID
+	params    Params
+	code      *erasure.Code
+	provider  membership.Provider
+
+	slots       []*pathSlot
+	established bool
+	failed      bool
+	establishAt sim.Time
+	setDead     bool
+	setDeadAt   sim.Time
+	repair      bool
+
+	pending map[uint64]*outMsg
+	inbound map[uint64]*inboundConv
+
+	stats SessionStats
+
+	// OnEstablished fires once when establishment concludes: ok reports
+	// whether at least MinPaths paths stand; attempts is the number of
+	// construction rounds used.
+	OnEstablished func(ok bool, attempts int)
+	// OnSetDead fires once when fewer than MinPaths path slots remain
+	// alive — the path set can no longer deliver (§6.1 path durability).
+	OnSetDead func(at sim.Time)
+	// OnResponse fires when a response message reconstructs at the
+	// initiator.
+	OnResponse func(mid uint64, data []byte, at sim.Time)
+	// OnInbound fires when an unsolicited rendezvous-forwarded message
+	// (mutual anonymity, kindInbound) reconstructs: hidden services
+	// receive requests here, initiators receive service replies.
+	OnInbound func(conv uint64, data []byte, at sim.Time)
+}
+
+type pathSlot struct {
+	index     int
+	path      *onion.Path
+	alive     bool
+	lastAck   sim.Time
+	repairing bool // a replacement construction is in flight
+}
+
+type outMsg struct {
+	sentAt  sim.Time
+	bySlot  map[int][]int32 // slot -> segment indices awaiting ack
+	respSeg map[int32]erasure.Segment
+	respGot bool
+}
+
+// NewSession creates a session; Establish starts it.
+func (w *World) NewSession(self, responder netsim.NodeID, params Params) (*Session, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	params = params.withDefaults()
+	code, err := params.Code()
+	if err != nil {
+		return nil, err
+	}
+	if self == responder {
+		return nil, fmt.Errorf("core: initiator and responder are the same node %d", self)
+	}
+	s := &Session{
+		w:         w,
+		self:      self,
+		responder: responder,
+		params:    params,
+		code:      code,
+		provider:  w.Provider(self),
+		pending:   make(map[uint64]*outMsg),
+		inbound:   make(map[uint64]*inboundConv),
+	}
+	return s, nil
+}
+
+// Params returns the session's (defaulted) parameters.
+func (s *Session) Params() Params { return s.params }
+
+// Teardown releases the session's paths at the initiator (relay-side
+// state ages out via the TTL of §4.3 — failed upstream nodes mean the
+// initiator cannot reliably release remote state, which is exactly why
+// the TTL exists).
+func (s *Session) Teardown() {
+	for _, sl := range s.slots {
+		if sl != nil && sl.path != nil {
+			s.w.unbindPath(sl.path)
+			s.w.Nodes[s.self].Initiator.Forget(sl.path)
+		}
+	}
+	s.slots = nil
+}
+
+// Stats returns a snapshot of the session counters.
+func (s *Session) Stats() SessionStats { return s.stats }
+
+// Established reports whether the path set is currently standing.
+func (s *Session) Established() bool { return s.established && !s.setDead }
+
+// EstablishedAt returns when establishment succeeded.
+func (s *Session) EstablishedAt() sim.Time { return s.establishAt }
+
+// SetDeadAt returns when the path set died (zero if alive).
+func (s *Session) SetDeadAt() sim.Time { return s.setDeadAt }
+
+// AlivePaths returns the number of live path slots.
+func (s *Session) AlivePaths() int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Establish runs construction attempts until MinPaths paths stand or
+// MaxEstablishAttempts is exhausted, then fires OnEstablished.
+func (s *Session) Establish() {
+	if s.established || s.failed {
+		return
+	}
+	s.attempt()
+}
+
+func (s *Session) attempt() {
+	s.stats.EstablishAttempts++
+	cands := s.provider.Candidates(s.self)
+	paths, err := mixchoice.SelectPaths(
+		s.w.Eng.RNG(), s.params.Strategy, cands,
+		s.params.K, s.params.L, s.self, s.responder,
+	)
+	if err != nil {
+		s.concludeAttempt(nil, 0)
+		return
+	}
+	initiator := s.w.Nodes[s.self].Initiator
+	slots := make([]*pathSlot, s.params.K)
+	done := 0
+	succeeded := 0
+	for i, relays := range paths {
+		slot := &pathSlot{index: i}
+		slots[i] = slot
+		p, err := initiator.Construct(relays, s.responder, &s.stats.ConstructFlow, func(p *onion.Path, ok bool) {
+			done++
+			if ok {
+				slot.alive = true
+				slot.lastAck = s.w.Eng.Now()
+				succeeded++
+			}
+			if done == s.params.K {
+				s.concludeAttempt(slots, succeeded)
+			}
+		})
+		if err != nil {
+			// Immediate failure (should not happen after SelectPaths
+			// validation); count the slot as resolved.
+			done++
+			continue
+		}
+		slot.path = p
+		s.w.bindPath(p, s)
+	}
+	if done == s.params.K && succeeded == 0 {
+		// All constructions failed synchronously.
+		s.concludeAttempt(slots, 0)
+	}
+}
+
+func (s *Session) concludeAttempt(slots []*pathSlot, succeeded int) {
+	if s.established || s.failed {
+		return
+	}
+	if succeeded >= s.params.MinPaths() {
+		s.slots = slots
+		s.established = true
+		s.establishAt = s.w.Eng.Now()
+		// Slots that failed construction already count as failed paths.
+		for _, sl := range slots {
+			if !sl.alive && sl.path != nil {
+				s.w.unbindPath(sl.path)
+				s.w.Nodes[s.self].Initiator.Forget(sl.path)
+			}
+		}
+		if s.OnEstablished != nil {
+			s.OnEstablished(true, s.stats.EstablishAttempts)
+		}
+		return
+	}
+	// Failed attempt: release everything and maybe retry.
+	for _, sl := range slots {
+		if sl != nil && sl.path != nil {
+			s.w.unbindPath(sl.path)
+			s.w.Nodes[s.self].Initiator.Forget(sl.path)
+		}
+	}
+	if s.stats.EstablishAttempts < s.params.MaxEstablishAttempts {
+		s.w.Eng.Schedule(0, s.attempt)
+		return
+	}
+	s.failed = true
+	if s.OnEstablished != nil {
+		s.OnEstablished(false, s.stats.EstablishAttempts)
+	}
+}
+
+// SendMessage erasure-codes data and sends the segments over the live
+// paths per the allocation policy. It returns the message ID.
+func (s *Session) SendMessage(data []byte) (uint64, error) {
+	return s.SendMessageTo(s.responder, data)
+}
+
+// SendMessageTo multiplexes a message to a different responder over the
+// established path set (path reuse, §4.4): each terminal relay rebinds
+// its cached stream to the destination named inside the payload onion,
+// so no new path construction — and no asymmetric decryption at the
+// relays — is needed.
+func (s *Session) SendMessageTo(dest netsim.NodeID, data []byte) (uint64, error) {
+	if !s.established {
+		return 0, fmt.Errorf("core: session not established")
+	}
+	if dest == s.self {
+		return 0, fmt.Errorf("core: cannot send to self")
+	}
+	segs, err := s.code.Split(data)
+	if err != nil {
+		return 0, err
+	}
+	mid := s.w.Eng.RNG().Uint64()
+	assign := s.allocate(len(segs))
+	out := &outMsg{
+		sentAt:  s.w.Eng.Now(),
+		bySlot:  make(map[int][]int32),
+		respSeg: make(map[int32]erasure.Segment),
+	}
+	initiator := s.w.Nodes[s.self].Initiator
+	m, n := s.params.codeShape()
+	for slotIdx, segIdxs := range assign {
+		slot := s.slots[slotIdx]
+		if len(segIdxs) == 0 {
+			continue
+		}
+		if !slot.alive {
+			// §4.2 + §4.5: with repair enabled, form a replacement path
+			// on demand and ride the first segment on the construction
+			// onion itself — no message delay waiting for a separate
+			// construction round trip. Without repair, segments on dead
+			// paths are lost (the Bernoulli model of §4.7).
+			if s.repair && dest == s.responder && len(segIdxs) == 1 {
+				si := segIdxs[0]
+				msg := segmentMsg{
+					MID:    mid,
+					Index:  int32(segs[si].Index),
+					Total:  int32(n),
+					Needed: int32(m),
+					Data:   segs[si].Data,
+				}
+				if s.sendOnDemand(slot, msg.encode()) {
+					out.bySlot[slotIdx] = append(out.bySlot[slotIdx], int32(segs[si].Index))
+					s.stats.SegmentsSent++
+				}
+			}
+			continue
+		}
+		for _, si := range segIdxs {
+			msg := segmentMsg{
+				MID:    mid,
+				Index:  int32(segs[si].Index),
+				Total:  int32(n),
+				Needed: int32(m),
+				Data:   segs[si].Data,
+			}
+			if err := initiator.SendDataTo(slot.path, dest, msg.encode(), &s.stats.DataFlow); err != nil {
+				continue
+			}
+			out.bySlot[slotIdx] = append(out.bySlot[slotIdx], int32(segs[si].Index))
+			s.stats.SegmentsSent++
+		}
+	}
+	s.pending[mid] = out
+	s.stats.MessagesSent++
+	s.w.Eng.Schedule(s.params.AckTimeout, func() { s.checkAcks(mid) })
+	return mid, nil
+}
+
+// allocate maps segment indices to path slots: the even split of §4.7,
+// or the weighted extension of §7 when enabled.
+func (s *Session) allocate(nSegs int) [][]int {
+	if s.params.Weighted {
+		return s.allocateWeighted(nSegs)
+	}
+	assign := make([][]int, len(s.slots))
+	per := nSegs / len(s.slots)
+	idx := 0
+	for i := range s.slots {
+		for j := 0; j < per && idx < nSegs; j++ {
+			assign[i] = append(assign[i], idx)
+			idx++
+		}
+	}
+	// Distribute any remainder round-robin (only possible when nSegs is
+	// not a multiple of k, which the paper excludes but we permit).
+	for i := 0; idx < nSegs; i, idx = i+1, idx+1 {
+		assign[i%len(s.slots)] = append(assign[i%len(s.slots)], idx)
+	}
+	return assign
+}
+
+// allocateWeighted gives stable paths more segments: each live slot is
+// scored by the minimum liveness predictor q over its relays, and
+// segments are dealt to slots proportionally to score.
+func (s *Session) allocateWeighted(nSegs int) [][]int {
+	type scored struct {
+		slot  int
+		score float64
+	}
+	var live []scored
+	var total float64
+	for i, sl := range s.slots {
+		if !sl.alive {
+			continue
+		}
+		score := s.pathStability(sl)
+		// Floor so every live path gets some share.
+		if score < 0.01 {
+			score = 0.01
+		}
+		live = append(live, scored{i, score})
+		total += score
+	}
+	assign := make([][]int, len(s.slots))
+	if len(live) == 0 {
+		return assign
+	}
+	// Largest-remainder apportionment of nSegs by score.
+	counts := make([]int, len(live))
+	rem := make([]float64, len(live))
+	used := 0
+	for i, sc := range live {
+		exact := float64(nSegs) * sc.score / total
+		counts[i] = int(exact)
+		rem[i] = exact - float64(counts[i])
+		used += counts[i]
+	}
+	for used < nSegs {
+		best := 0
+		for i := range rem {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rem[best] = -1
+		used++
+	}
+	idx := 0
+	for i, sc := range live {
+		for j := 0; j < counts[i]; j++ {
+			assign[sc.slot] = append(assign[sc.slot], idx)
+			idx++
+		}
+	}
+	return assign
+}
+
+// pathStability returns the minimum predictor q across a path's relays.
+func (s *Session) pathStability(sl *pathSlot) float64 {
+	qp, ok := s.provider.(membership.QProvider)
+	if !ok || sl.path == nil {
+		return 1
+	}
+	min := 1.0
+	for _, relay := range sl.path.Relays {
+		if q := qp.Q(relay); q < min {
+			min = q
+		}
+	}
+	return min
+}
+
+// checkAcks runs at AckTimeout after a message: any live slot with
+// unacknowledged segments is declared failed (§4.5 timeout detection).
+func (s *Session) checkAcks(mid uint64) {
+	out, ok := s.pending[mid]
+	if !ok {
+		return
+	}
+	for slotIdx, waiting := range out.bySlot {
+		if len(waiting) == 0 {
+			continue
+		}
+		s.markSlotDead(s.slots[slotIdx])
+	}
+}
+
+func (s *Session) markSlotDead(sl *pathSlot) {
+	if !sl.alive {
+		return
+	}
+	sl.alive = false
+	s.stats.PathsDied++
+	if s.repair {
+		// Self-healing mode (§4.5 reconstruction): replace the failed
+		// path instead of counting toward set death.
+		s.replaceSlot(sl)
+		return
+	}
+	if s.AlivePaths() < s.params.MinPaths() && !s.setDead {
+		s.setDead = true
+		s.setDeadAt = s.w.Eng.Now()
+		if s.OnSetDead != nil {
+			s.OnSetDead(s.setDeadAt)
+		}
+	}
+}
+
+// EnableRepair turns on §4.5 failure handling for long-lived sessions:
+// every probeInterval the session probes each live path end to end
+// (probes also refresh the §4.3 state TTLs); a path that misses its
+// probe ack is torn down and reconstructed through fresh relays. With
+// repair enabled the session never declares its path set dead — it
+// heals instead — so OnSetDead does not fire.
+func (s *Session) EnableRepair(probeInterval sim.Time) {
+	if probeInterval <= 0 {
+		probeInterval = 30 * sim.Second
+	}
+	s.repair = true
+	s.w.Eng.Every(probeInterval, probeInterval, func() {
+		if !s.established {
+			return
+		}
+		// Retry slots whose earlier replacement failed.
+		for _, sl := range s.slots {
+			if sl != nil && !sl.alive {
+				s.replaceSlot(sl)
+			}
+		}
+		s.sendProbes()
+	})
+}
+
+// sendProbes sends one tiny probe down every live path and arms the ack
+// timeout; unacked probes mark (and, in repair mode, replace) the path.
+func (s *Session) sendProbes() {
+	mid := s.w.Eng.RNG().Uint64()
+	out := &outMsg{
+		sentAt:  s.w.Eng.Now(),
+		bySlot:  make(map[int][]int32),
+		respSeg: make(map[int32]erasure.Segment),
+	}
+	initiator := s.w.Nodes[s.self].Initiator
+	sentAny := false
+	for i, sl := range s.slots {
+		if sl == nil || !sl.alive {
+			continue
+		}
+		probe := probeMsg{MID: mid, Index: int32(i)}
+		if err := initiator.SendData(sl.path, probe.encode(), &s.stats.DataFlow); err != nil {
+			continue
+		}
+		out.bySlot[i] = append(out.bySlot[i], int32(i))
+		sentAny = true
+	}
+	if !sentAny {
+		return
+	}
+	s.pending[mid] = out
+	s.w.Eng.Schedule(s.params.AckTimeout, func() {
+		s.checkAcks(mid)
+		delete(s.pending, mid)
+	})
+}
+
+// handleReverse processes decrypted reverse-path payloads routed to this
+// session by the world.
+func (s *Session) handleReverse(p *onion.Path, plain []byte) {
+	msg, err := decodeAppMsg(plain)
+	if err != nil {
+		return
+	}
+	switch msg.kind {
+	case kindSegAck:
+		s.handleAck(p, msg.ack)
+	case kindRespSeg:
+		s.handleRespSeg(msg.resp)
+	case kindInbound:
+		s.handleInbound(msg.service)
+	}
+}
+
+func (s *Session) handleAck(p *onion.Path, ack segAckMsg) {
+	out, ok := s.pending[ack.MID]
+	if !ok {
+		return
+	}
+	s.stats.SegmentsAcked++
+	for slotIdx, waiting := range out.bySlot {
+		for i, idx := range waiting {
+			if idx == ack.Index {
+				out.bySlot[slotIdx] = append(waiting[:i], waiting[i+1:]...)
+				if sl := s.slots[slotIdx]; sl != nil {
+					sl.lastAck = s.w.Eng.Now()
+				}
+				return
+			}
+		}
+	}
+}
+
+func (s *Session) handleRespSeg(rs respSegMsg) {
+	out, ok := s.pending[rs.MID]
+	if !ok || out.respGot {
+		return
+	}
+	if !validCodeShape(rs.Needed, rs.Total) || rs.Index < 0 || rs.Index >= rs.Total {
+		return
+	}
+	if _, dup := out.respSeg[rs.Index]; dup {
+		return
+	}
+	out.respSeg[rs.Index] = erasure.Segment{Index: int(rs.Index), Data: rs.Data}
+	if int32(len(out.respSeg)) < rs.Needed {
+		return
+	}
+	code, err := erasure.New(int(rs.Needed), int(rs.Total))
+	if err != nil {
+		return
+	}
+	segs := make([]erasure.Segment, 0, len(out.respSeg))
+	for _, sg := range out.respSeg {
+		segs = append(segs, sg)
+	}
+	data, err := code.Reconstruct(segs)
+	if err != nil {
+		return
+	}
+	out.respGot = true
+	s.stats.ResponsesReceived++
+	if s.OnResponse != nil {
+		s.OnResponse(rs.MID, data, s.w.Eng.Now())
+	}
+}
+
+// EnablePrediction starts the §4.5 proactive failure predictor: every
+// interval the session computes each live path's minimum relay q; paths
+// below threshold are replaced with freshly constructed ones.
+func (s *Session) EnablePrediction(threshold float64, interval sim.Time) {
+	if interval <= 0 {
+		interval = 30 * sim.Second
+	}
+	s.w.Eng.Every(interval, interval, func() {
+		if !s.established || s.setDead {
+			return
+		}
+		for _, sl := range s.slots {
+			if sl.alive && s.pathStability(sl) < threshold {
+				s.replaceSlot(sl)
+			}
+		}
+	})
+}
+
+// sendOnDemand forms a replacement path for a dead slot with the
+// payload riding the construction onion (§4.2's combined mode). It
+// reports whether the combined message entered the network; the slot
+// revives when the construction ack arrives.
+func (s *Session) sendOnDemand(sl *pathSlot, plain []byte) bool {
+	if sl.repairing {
+		return false
+	}
+	relays, ok := s.freshRelays(sl)
+	if !ok {
+		return false
+	}
+	initiator := s.w.Nodes[s.self].Initiator
+	old := sl.path
+	sl.repairing = true
+	p, err := initiator.ConstructWithData(relays, s.responder, plain, &s.stats.DataFlow, func(p *onion.Path, ok bool) {
+		sl.repairing = false
+		if !ok {
+			s.w.unbindPath(p)
+			initiator.Forget(p)
+			return
+		}
+		if old != nil {
+			s.w.unbindPath(old)
+			initiator.Forget(old)
+		}
+		sl.path = p
+		sl.alive = true
+		sl.lastAck = s.w.Eng.Now()
+		s.stats.PathsReplaced++
+	})
+	if err != nil {
+		sl.repairing = false
+		return false
+	}
+	s.w.bindPath(p, s)
+	return true
+}
+
+// freshRelays selects one new relay list avoiding the session's live
+// relays and endpoints.
+func (s *Session) freshRelays(sl *pathSlot) ([]netsim.NodeID, bool) {
+	cands := s.provider.Candidates(s.self)
+	exclude := []netsim.NodeID{s.self, s.responder}
+	for _, other := range s.slots {
+		if other != sl && other.alive && other.path != nil {
+			exclude = append(exclude, other.path.Relays...)
+		}
+	}
+	paths, err := mixchoice.SelectPaths(s.w.Eng.RNG(), s.params.Strategy, cands, 1, s.params.L, exclude...)
+	if err != nil {
+		return nil, false
+	}
+	return paths[0], true
+}
+
+// replaceSlot constructs a replacement path for a slot (reconstruction
+// per §4.5). The old path stays in use until the replacement stands.
+func (s *Session) replaceSlot(sl *pathSlot) {
+	if sl.repairing {
+		return
+	}
+	relays, ok := s.freshRelays(sl)
+	if !ok {
+		return
+	}
+	initiator := s.w.Nodes[s.self].Initiator
+	old := sl.path
+	sl.repairing = true
+	p, err := initiator.Construct(relays, s.responder, &s.stats.ConstructFlow, func(p *onion.Path, ok bool) {
+		sl.repairing = false
+		if !ok {
+			s.w.unbindPath(p)
+			initiator.Forget(p)
+			return
+		}
+		if old != nil {
+			s.w.unbindPath(old)
+			initiator.Forget(old)
+		}
+		sl.path = p
+		sl.alive = true
+		sl.lastAck = s.w.Eng.Now()
+		s.stats.PathsReplaced++
+	})
+	if err != nil {
+		sl.repairing = false
+		return
+	}
+	s.w.bindPath(p, s)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resilientmix/internal/analytic"
+	"resilientmix/internal/stats"
+)
+
+// churnLifetime returns the paper's default churn distribution (used by
+// several test files).
+func churnLifetime() stats.Dist {
+	return stats.Pareto{Alpha: 1, Beta: 1800}
+}
+
+func TestSimulateStaticValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SimulateStatic(rng, StaticConfig{Availability: 1.5, K: 2, R: 2}); err == nil {
+		t.Error("pa>1 accepted")
+	}
+	if _, err := SimulateStatic(rng, StaticConfig{Availability: 0.7, K: 3, R: 2}); err == nil {
+		t.Error("k not multiple of r accepted")
+	}
+	if _, err := SimulateStatic(rng, StaticConfig{Availability: 0.7, K: 0, R: 1}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestSimulateStaticMatchesClosedForm(t *testing.T) {
+	// The Monte Carlo success rate must track the analytic P(k) — this
+	// is the core of the Figure 2 validation.
+	rng := rand.New(rand.NewSource(2))
+	for _, pa := range []float64{0.70, 0.86, 0.95} {
+		for _, k := range []int{2, 6, 12, 20} {
+			res, err := SimulateStatic(rng, StaticConfig{
+				Availability: pa, K: k, R: 2, Trials: 40000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := analytic.PathSuccessProb(pa, DefaultL)
+			want, err := analytic.PSuccess(k, 2, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.SuccessRate-want) > 0.015 {
+				t.Fatalf("pa=%g k=%d: simulated %g, analytic %g", pa, k, res.SuccessRate, want)
+			}
+		}
+	}
+}
+
+func TestSimulateStaticDegenerateAvailability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	res, err := SimulateStatic(rng, StaticConfig{Availability: 1, K: 4, R: 2, Trials: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate != 1 {
+		t.Fatalf("pa=1: success %g", res.SuccessRate)
+	}
+	res, err = SimulateStatic(rng, StaticConfig{Availability: 0, K: 4, R: 2, Trials: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate != 0 || res.BandwidthKB != 0 {
+		t.Fatalf("pa=0: %+v", res)
+	}
+}
+
+func TestStaticBandwidthGrowsWithR(t *testing.T) {
+	// Figure 4: at fixed k, higher replication factor costs more
+	// bandwidth (bigger per-path segments).
+	rng := rand.New(rand.NewSource(4))
+	prev := 0.0
+	for _, r := range []int{2, 3, 4} {
+		res, err := SimulateStatic(rng, StaticConfig{
+			Availability: 0.70, K: 12, R: r, Trials: 20000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BandwidthKB <= prev {
+			t.Fatalf("r=%d: bandwidth %g not above r-1's %g", r, res.BandwidthKB, prev)
+		}
+		prev = res.BandwidthKB
+	}
+}
+
+func TestStaticBandwidthScale(t *testing.T) {
+	// With pa=1 and k=r (full replication, all paths live), bandwidth is
+	// about k copies over L+1 links: k*(L+1)*|M| plus overheads.
+	rng := rand.New(rand.NewSource(5))
+	res, err := SimulateStatic(rng, StaticConfig{
+		Availability: 1, K: 4, R: 4, Trials: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLow := 4.0 * 4 * 1.0   // 16 KB of pure payload
+	wantHigh := wantLow * 1.25 // overheads below 25%
+	if res.BandwidthKB < wantLow || res.BandwidthKB > wantHigh {
+		t.Fatalf("bandwidth %g KB, want within [%g, %g]", res.BandwidthKB, wantLow, wantHigh)
+	}
+}
+
+func TestStaticErasureCheaperThanReplicationPerSuccess(t *testing.T) {
+	// The paper's core bandwidth claim: at equal k, erasure coding with
+	// r<k ships fewer bytes than full replication (r=k).
+	rng := rand.New(rand.NewSource(6))
+	era, err := SimulateStatic(rng, StaticConfig{Availability: 0.95, K: 4, R: 2, Trials: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateStatic(rng, StaticConfig{Availability: 0.95, K: 4, R: 4, Trials: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if era.BandwidthKB >= rep.BandwidthKB {
+		t.Fatalf("erasure %g KB >= replication %g KB", era.BandwidthKB, rep.BandwidthKB)
+	}
+}
+
+func TestStaticObservationShapes(t *testing.T) {
+	// Figure 2's three curves, via simulation: increasing (pa=0.95),
+	// dip-then-rise (pa=0.86), decreasing (pa=0.70), for r=2, L=3.
+	rng := rand.New(rand.NewSource(7))
+	curve := func(pa float64) []float64 {
+		var out []float64
+		for k := 2; k <= 20; k += 2 {
+			res, err := SimulateStatic(rng, StaticConfig{Availability: pa, K: k, R: 2, Trials: 30000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res.SuccessRate)
+		}
+		return out
+	}
+	inc := curve(0.95)
+	for i := 1; i < len(inc); i++ {
+		if inc[i] < inc[i-1]-0.01 {
+			t.Fatalf("Observation 1 curve not increasing: %v", inc)
+		}
+	}
+	dec := curve(0.70)
+	for i := 1; i < len(dec); i++ {
+		if dec[i] > dec[i-1]+0.01 {
+			t.Fatalf("Observation 3 curve not decreasing: %v", dec)
+		}
+	}
+	dip := curve(0.86)
+	if !(dip[1] <= dip[0]+0.01 && dip[len(dip)-1] > dip[1]) {
+		t.Fatalf("Observation 2 curve lacks dip-then-rise shape: %v", dip)
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"resilientmix/internal/churn"
+	"resilientmix/internal/membership"
+	"resilientmix/internal/metrics"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onion"
+	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/sim"
+	"resilientmix/internal/stats"
+	"resilientmix/internal/topology"
+)
+
+// MembershipMode selects how nodes learn about each other.
+type MembershipMode int
+
+// Membership modes.
+const (
+	// OracleMembership models the paper's augmented OneHop layer:
+	// perfectly fresh, complete membership information (§6.1).
+	OracleMembership MembershipMode = iota
+	// GossipMembership runs the real epidemic protocol of §4.8 with the
+	// liveness piggybacking of §4.9; information is as stale as gossip
+	// makes it.
+	GossipMembership
+	// OneHopMembership runs the simplified hierarchical OneHop protocol
+	// (keepalive detection, slice/unit leaders) the paper's evaluation
+	// is built on, with explicit leave events.
+	OneHopMembership
+)
+
+// WorldConfig assembles a simulated P2P anonymizing network.
+type WorldConfig struct {
+	// N is the number of nodes (the paper uses 1024).
+	N int
+	// Seed drives all randomness; equal seeds give equal histories.
+	Seed int64
+	// MeanRTT scales the synthetic King topology; zero selects the
+	// paper's 152 ms.
+	MeanRTT sim.Time
+	// UniformRTT, when positive, replaces the King topology with a
+	// uniform all-pairs RTT (analytically convenient in tests).
+	UniformRTT sim.Time
+	// Suite selects the cryptography; nil selects onioncrypt.Null{}
+	// (full-fidelity sizes, no arithmetic — right for large sims).
+	Suite onioncrypt.Suite
+	// Lifetime, when set, enables churn with this session-time
+	// distribution; Downtime defaults to the same distribution (§6.1).
+	Lifetime stats.Dist
+	// Downtime optionally overrides the down-interval distribution.
+	Downtime stats.Dist
+	// Pinned nodes never leave (the durability experiment pins the
+	// initiator and responder).
+	Pinned []netsim.NodeID
+	// Membership selects oracle or gossip membership.
+	Membership MembershipMode
+	// Gossip tunes GossipMembership; zero-value selects defaults.
+	Gossip membership.GossipConfig
+	// OneHop tunes OneHopMembership; zero-value selects defaults.
+	OneHop membership.OneHopConfig
+	// LossRate makes every message independently vanish in flight with
+	// this probability — random link loss on top of churn (an extension
+	// to the paper's node-failure-only model).
+	LossRate float64
+	// StateTTL is the relay state TTL (§4.3); zero selects the default.
+	StateTTL sim.Time
+	// ConstructTimeout is the construction-ack timeout; zero selects the
+	// default.
+	ConstructTimeout sim.Time
+}
+
+// World is a fully wired simulated network: engine, topology, churn,
+// membership, PKI, and one onion node plus receiver application per
+// peer. Experiments create sessions on top of it.
+type World struct {
+	Cfg       WorldConfig
+	Eng       *sim.Engine
+	Net       *netsim.Network
+	Dir       *onion.Directory
+	Nodes     []*onion.Node
+	Receivers []*Receiver
+
+	oracle *membership.Oracle
+	gossip *membership.Gossip
+	onehop *membership.OneHop
+	churn  *churn.Driver
+
+	sessions map[onion.StreamID]*Session
+}
+
+// NewWorld builds and wires a world. Churn (if configured) does not
+// start until StartChurn is called, so warm-up scheduling is explicit.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.N < 4 {
+		return nil, fmt.Errorf("core: world needs at least 4 nodes, got %d", cfg.N)
+	}
+	if cfg.Suite == nil {
+		cfg.Suite = onioncrypt.Null{}
+	}
+	if cfg.MeanRTT == 0 {
+		cfg.MeanRTT = topology.DefaultMeanRTT
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	var topo *topology.Matrix
+	var err error
+	if cfg.UniformRTT > 0 {
+		topo, err = topology.Uniform(cfg.N, cfg.UniformRTT)
+	} else {
+		topo, err = topology.Generate(cfg.N, cfg.MeanRTT, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.New(eng, topo)
+	if cfg.LossRate > 0 {
+		net.SetLossRate(cfg.LossRate)
+	}
+	dir, err := onion.NewDirectory(cfg.Suite, eng.RNG(), cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{
+		Cfg:      cfg,
+		Eng:      eng,
+		Net:      net,
+		Dir:      dir,
+		sessions: make(map[onion.StreamID]*Session),
+	}
+
+	switch cfg.Membership {
+	case OracleMembership:
+		w.oracle = membership.NewOracle(net)
+	case GossipMembership:
+		gcfg := cfg.Gossip
+		if gcfg == (membership.GossipConfig{}) {
+			gcfg = membership.DefaultGossipConfig()
+		}
+		w.gossip, err = membership.NewGossip(net, gcfg)
+		if err != nil {
+			return nil, err
+		}
+	case OneHopMembership:
+		ocfg := cfg.OneHop
+		if ocfg == (membership.OneHopConfig{}) {
+			ocfg = membership.DefaultOneHopConfig()
+		}
+		w.onehop, err = membership.NewOneHop(net, ocfg)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown membership mode %d", cfg.Membership)
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		id := netsim.NodeID(i)
+		mux := netsim.NewMux()
+		recv := NewReceiver(id, eng, nil)
+		node := onion.NewNode(net, id, dir, mux, onion.NodeConfig{
+			StateTTL:         cfg.StateTTL,
+			ConstructTimeout: cfg.ConstructTimeout,
+			OnReverse: func(p *onion.Path, _ netsim.NodeID, plain []byte, _ *metrics.Flow) {
+				if s, ok := w.sessions[p.SID]; ok {
+					s.handleReverse(p, plain)
+				}
+			},
+			OnData: recv.HandleData,
+		})
+		if w.gossip != nil {
+			w.gossip.Attach(id, mux)
+		}
+		if w.onehop != nil {
+			w.onehop.Attach(id, mux)
+		}
+		net.SetHandler(id, mux)
+		w.Nodes = append(w.Nodes, node)
+		w.Receivers = append(w.Receivers, recv)
+	}
+
+	if w.gossip != nil {
+		w.gossip.SeedFull()
+		w.gossip.Start()
+	}
+	if w.onehop != nil {
+		w.onehop.SeedFull()
+		w.onehop.Start()
+	}
+
+	if cfg.Lifetime != nil {
+		opts := []churn.Option{churn.Pin(cfg.Pinned...)}
+		if cfg.Downtime != nil {
+			opts = append(opts, churn.WithDowntime(cfg.Downtime))
+		}
+		w.churn, err = churn.NewDriver(net, cfg.Lifetime, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// StartChurn begins the configured churn process. It is an error if the
+// world was built without a lifetime distribution.
+func (w *World) StartChurn() error {
+	if w.churn == nil {
+		return fmt.Errorf("core: world has no churn configured")
+	}
+	return w.churn.Start()
+}
+
+// Provider returns node id's membership provider.
+func (w *World) Provider(id netsim.NodeID) membership.Provider {
+	switch {
+	case w.oracle != nil:
+		return w.oracle
+	case w.gossip != nil:
+		return w.gossip.CacheOf(id)
+	default:
+		return w.onehop.CacheOf(id)
+	}
+}
+
+// Run advances the simulation to the given virtual time.
+func (w *World) Run(until sim.Time) { w.Eng.Run(until) }
+
+// bindPath routes reverse traffic on a path to a session.
+func (w *World) bindPath(p *onion.Path, s *Session) { w.sessions[p.SID] = s }
+
+// unbindPath removes a path's session routing.
+func (w *World) unbindPath(p *onion.Path) { delete(w.sessions, p.SID) }

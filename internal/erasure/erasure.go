@@ -1,0 +1,206 @@
+// Package erasure implements systematic Reed–Solomon erasure coding over
+// GF(2^8), the "message redundancy" half of the paper's approach (§1.2,
+// §4). A message M is split into n coded segments of length |M|/m such
+// that any m of the n segments reconstruct M; the replication factor is
+// r = n/m. Replication is the m = 1 special case (§4, "Replication can
+// be thought of as a special case of erasure coding where m = 1").
+//
+// The code is systematic: the first m segments carry the message bytes
+// verbatim (after length-prefixing and padding), so the common fast path
+// — all segments from the lowest-indexed paths arrive — needs no matrix
+// inversion at all.
+package erasure
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"resilientmix/internal/gf256"
+)
+
+// MaxSegments is the largest supported number of coded segments, bounded
+// by the number of distinct evaluation points in GF(2^8).
+const MaxSegments = gf256.Order
+
+// lenPrefix is the number of bytes prepended to the message to record
+// its original length, so Reconstruct can strip padding.
+const lenPrefix = 4
+
+var (
+	// ErrNotEnoughSegments is returned by Reconstruct when fewer than m
+	// distinct segments are supplied.
+	ErrNotEnoughSegments = errors.New("erasure: not enough segments to reconstruct")
+	// ErrSegmentMismatch is returned when supplied segments have
+	// inconsistent sizes or out-of-range indices.
+	ErrSegmentMismatch = errors.New("erasure: inconsistent segments")
+)
+
+// Segment is one coded message segment. Index identifies which row of
+// the coding matrix produced it; Reconstruct needs the index to rebuild
+// the decoding matrix.
+type Segment struct {
+	Index int
+	Data  []byte
+}
+
+// Code is a reusable (m, n) erasure code: n coded segments, any m of
+// which suffice. A Code is immutable after New and safe for concurrent
+// use.
+type Code struct {
+	m, n   int
+	matrix *gf256.Matrix // n x m systematic coding matrix
+}
+
+// New returns an (m, n) code. Requires 1 <= m <= n <= MaxSegments.
+func New(m, n int) (*Code, error) {
+	if m < 1 || n < m || n > MaxSegments {
+		return nil, fmt.Errorf("erasure: invalid parameters m=%d n=%d (need 1 <= m <= n <= %d)", m, n, MaxSegments)
+	}
+	v := gf256.Vandermonde(n, m)
+	top := v.SubMatrix(seq(m))
+	topInv, err := top.Invert()
+	if err != nil {
+		// Cannot happen: the top m rows of a Vandermonde matrix with
+		// distinct points are always invertible.
+		return nil, fmt.Errorf("erasure: building systematic matrix: %w", err)
+	}
+	return &Code{m: m, n: n, matrix: v.Mul(topInv)}, nil
+}
+
+// NewReplication returns the replication code with factor r: r segments,
+// any 1 of which reconstructs the message (m = 1, n = r).
+func NewReplication(r int) (*Code, error) { return New(1, r) }
+
+// M returns the number of segments required for reconstruction.
+func (c *Code) M() int { return c.m }
+
+// N returns the total number of coded segments produced by Split.
+func (c *Code) N() int { return c.n }
+
+// ReplicationFactor returns r = n/m as a float (n need not divide m
+// evenly in general, though the paper always uses integral r).
+func (c *Code) ReplicationFactor() float64 { return float64(c.n) / float64(c.m) }
+
+// SegmentSize returns the size in bytes of each coded segment for a
+// message of msgLen bytes: ceil((msgLen + 4) / m).
+func (c *Code) SegmentSize(msgLen int) int {
+	total := msgLen + lenPrefix
+	return (total + c.m - 1) / c.m
+}
+
+// Split erasure-codes msg into n segments of equal length
+// SegmentSize(len(msg)). The message is length-prefixed and zero-padded
+// to a multiple of m before encoding.
+func (c *Code) Split(msg []byte) ([]Segment, error) {
+	if len(msg) > int(^uint32(0))-lenPrefix {
+		return nil, errors.New("erasure: message too large")
+	}
+	shard := c.SegmentSize(len(msg))
+	buf := make([]byte, c.m*shard)
+	binary.BigEndian.PutUint32(buf, uint32(len(msg)))
+	copy(buf[lenPrefix:], msg)
+
+	// Data shards are views into buf.
+	shards := make([][]byte, c.m)
+	for i := range shards {
+		shards[i] = buf[i*shard : (i+1)*shard]
+	}
+
+	segs := make([]Segment, c.n)
+	for i := 0; i < c.n; i++ {
+		row := c.matrix.Row(i)
+		if i < c.m {
+			// Systematic rows: the segment is the data shard itself.
+			segs[i] = Segment{Index: i, Data: shards[i]}
+			continue
+		}
+		out := make([]byte, shard)
+		for j, coef := range row {
+			gf256.MulAddSlice(out, shards[j], coef)
+		}
+		segs[i] = Segment{Index: i, Data: out}
+	}
+	return segs, nil
+}
+
+// Reconstruct rebuilds the original message from any m (or more)
+// distinct segments produced by Split. Extra segments beyond m and
+// duplicate indices are ignored.
+func (c *Code) Reconstruct(segs []Segment) ([]byte, error) {
+	chosen := make([]Segment, 0, c.m)
+	seen := make(map[int]bool, c.m)
+	shard := -1
+	for _, s := range segs {
+		if s.Index < 0 || s.Index >= c.n {
+			return nil, fmt.Errorf("%w: segment index %d out of range [0,%d)", ErrSegmentMismatch, s.Index, c.n)
+		}
+		if seen[s.Index] {
+			continue
+		}
+		if shard == -1 {
+			shard = len(s.Data)
+		} else if len(s.Data) != shard {
+			return nil, fmt.Errorf("%w: segment sizes %d and %d differ", ErrSegmentMismatch, shard, len(s.Data))
+		}
+		seen[s.Index] = true
+		chosen = append(chosen, s)
+		if len(chosen) == c.m {
+			break
+		}
+	}
+	if len(chosen) < c.m {
+		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrNotEnoughSegments, len(chosen), c.m)
+	}
+
+	data := make([]byte, c.m*shard)
+	if systematic(chosen, c.m) {
+		// Fast path: segments 0..m-1 are the data shards verbatim.
+		for _, s := range chosen {
+			copy(data[s.Index*shard:], s.Data)
+		}
+	} else {
+		rows := make([]int, c.m)
+		for i, s := range chosen {
+			rows[i] = s.Index
+		}
+		dec, err := c.matrix.SubMatrix(rows).Invert()
+		if err != nil {
+			return nil, fmt.Errorf("erasure: decoding matrix: %w", err)
+		}
+		for i := 0; i < c.m; i++ {
+			out := data[i*shard : (i+1)*shard]
+			for j, coef := range dec.Row(i) {
+				gf256.MulAddSlice(out, chosen[j].Data, coef)
+			}
+		}
+	}
+
+	if len(data) < lenPrefix {
+		return nil, fmt.Errorf("%w: segments too small", ErrSegmentMismatch)
+	}
+	msgLen := binary.BigEndian.Uint32(data)
+	if int(msgLen) > len(data)-lenPrefix {
+		return nil, fmt.Errorf("%w: embedded length %d exceeds decoded data", ErrSegmentMismatch, msgLen)
+	}
+	return data[lenPrefix : lenPrefix+int(msgLen)], nil
+}
+
+// systematic reports whether the chosen segments are exactly indices
+// 0..m-1 (in any order).
+func systematic(segs []Segment, m int) bool {
+	for _, s := range segs {
+		if s.Index >= m {
+			return false
+		}
+	}
+	return true
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

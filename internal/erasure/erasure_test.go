@@ -1,0 +1,273 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func mustCode(t testing.TB, m, n int) *Code {
+	t.Helper()
+	c, err := New(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		m, n int
+		ok   bool
+	}{
+		{1, 1, true},
+		{1, 4, true},
+		{4, 8, true},
+		{256, 256, true},
+		{0, 4, false},
+		{-1, 4, false},
+		{5, 4, false},
+		{2, 257, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.m, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("New(%d, %d): err = %v, want ok=%v", c.m, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestSplitReconstructAllSegments(t *testing.T) {
+	c := mustCode(t, 4, 8)
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	segs, err := c.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 8 {
+		t.Fatalf("got %d segments, want 8", len(segs))
+	}
+	got, err := c.Reconstruct(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reconstructed %q, want %q", got, msg)
+	}
+}
+
+func TestReconstructFromParityOnly(t *testing.T) {
+	c := mustCode(t, 3, 9)
+	msg := []byte("parity-only reconstruction")
+	segs, err := c.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Reconstruct(segs[6:9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reconstructed %q, want %q", got, msg)
+	}
+}
+
+func TestEverySubsetOfSizeM(t *testing.T) {
+	c := mustCode(t, 2, 6)
+	msg := []byte{0xde, 0xad, 0xbe, 0xef, 0x01}
+	segs, err := c.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			got, err := c.Reconstruct([]Segment{segs[i], segs[j]})
+			if err != nil {
+				t.Fatalf("subset (%d,%d): %v", i, j, err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("subset (%d,%d): wrong reconstruction", i, j)
+			}
+		}
+	}
+}
+
+func TestNotEnoughSegments(t *testing.T) {
+	c := mustCode(t, 3, 6)
+	segs, err := c.Split([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reconstruct(segs[:2]); err == nil {
+		t.Fatal("expected ErrNotEnoughSegments")
+	}
+	// Duplicates of the same index must not count twice.
+	if _, err := c.Reconstruct([]Segment{segs[0], segs[0], segs[0]}); err == nil {
+		t.Fatal("duplicated segments should not satisfy m")
+	}
+}
+
+func TestSegmentIndexOutOfRange(t *testing.T) {
+	c := mustCode(t, 2, 4)
+	if _, err := c.Reconstruct([]Segment{{Index: 4, Data: []byte{0}}, {Index: 0, Data: []byte{0}}}); err == nil {
+		t.Fatal("expected index-out-of-range error")
+	}
+	if _, err := c.Reconstruct([]Segment{{Index: -1, Data: []byte{0}}, {Index: 0, Data: []byte{0}}}); err == nil {
+		t.Fatal("expected index-out-of-range error for negative index")
+	}
+}
+
+func TestInconsistentSizes(t *testing.T) {
+	c := mustCode(t, 2, 4)
+	segs, err := c.Split([]byte("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Segment{Index: segs[1].Index, Data: segs[1].Data[:len(segs[1].Data)-1]}
+	if _, err := c.Reconstruct([]Segment{segs[0], bad}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	c := mustCode(t, 4, 8)
+	segs, err := c.Split(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Reconstruct(segs[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("reconstructed %d bytes from empty message", len(got))
+	}
+}
+
+func TestReplicationSpecialCase(t *testing.T) {
+	c, err := NewReplication(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() != 1 || c.N() != 4 {
+		t.Fatalf("replication code shape = (%d, %d), want (1, 4)", c.M(), c.N())
+	}
+	msg := []byte("replicate me")
+	segs, err := c.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range segs {
+		got, err := c.Reconstruct([]Segment{s})
+		if err != nil {
+			t.Fatalf("segment %d alone: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("segment %d alone: wrong reconstruction", i)
+		}
+	}
+}
+
+func TestSystematicProperty(t *testing.T) {
+	// The first m segments must carry the (length-prefixed) message
+	// verbatim, so a responder receiving them needs no decoding.
+	c := mustCode(t, 2, 4)
+	msg := []byte("systematic!")
+	segs, err := c.Split(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := append(append([]byte{}, segs[0].Data...), segs[1].Data...)
+	if !bytes.Contains(joined, msg) {
+		t.Fatal("systematic segments do not contain the raw message")
+	}
+}
+
+func TestSegmentSize(t *testing.T) {
+	c := mustCode(t, 4, 8)
+	// 1 KB message + 4-byte length prefix = 1028, /4 = 257.
+	if got := c.SegmentSize(1024); got != 257 {
+		t.Fatalf("SegmentSize(1024) = %d, want 257", got)
+	}
+	segs, err := c.Split(make([]byte, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if len(s.Data) != 257 {
+			t.Fatalf("segment size %d, want 257", len(s.Data))
+		}
+	}
+}
+
+func TestBandwidthAdvantageOverReplication(t *testing.T) {
+	// Paper §4: at the same replication factor r the erasure code sends
+	// r*|M| bytes total, versus replication's r full copies — they are
+	// equal in total, but per-path the erasure segments are 1/m the size.
+	msgLen := 1024
+	era := mustCode(t, 4, 8) // r = 2, per-path size |M|/4
+	rep := mustCode(t, 1, 2) // r = 2, per-path size |M|
+	if era.SegmentSize(msgLen)*4 > rep.SegmentSize(msgLen)+16 {
+		t.Fatalf("erasure total %d should be about replication copy %d",
+			era.SegmentSize(msgLen)*4, rep.SegmentSize(msgLen))
+	}
+	if era.SegmentSize(msgLen) >= rep.SegmentSize(msgLen)/2 {
+		t.Fatalf("per-path erasure segment (%d) should be much smaller than a full copy (%d)",
+			era.SegmentSize(msgLen), rep.SegmentSize(msgLen))
+	}
+}
+
+func TestLargeMessageManyShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	msg := make([]byte, 10000)
+	rng.Read(msg)
+	for _, shape := range []struct{ m, n int }{{1, 2}, {2, 4}, {5, 20}, {10, 40}, {16, 64}} {
+		c := mustCode(t, shape.m, shape.n)
+		segs, err := c.Split(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random m-subset.
+		perm := rng.Perm(shape.n)[:shape.m]
+		subset := make([]Segment, shape.m)
+		for i, p := range perm {
+			subset[i] = segs[p]
+		}
+		got, err := c.Reconstruct(subset)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", shape.m, shape.n, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("(%d,%d): wrong reconstruction", shape.m, shape.n)
+		}
+	}
+}
+
+func BenchmarkSplit1KB(b *testing.B) {
+	c := mustCode(b, 4, 8)
+	msg := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Split(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructParity1KB(b *testing.B) {
+	c := mustCode(b, 4, 8)
+	msg := make([]byte, 1024)
+	segs, err := c.Split(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parity := segs[4:]
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reconstruct(parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAnySubsetReconstructs is the core erasure-coding invariant as
+// a property: for random (m, n), random message, and a random m-subset
+// of segments, reconstruction returns exactly the original message.
+func TestQuickAnySubsetReconstructs(t *testing.T) {
+	f := func(seed int64, rawM, rawN uint8, msg []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + int(rawM)%16
+		n := m + int(rawN)%16
+		c, err := New(m, n)
+		if err != nil {
+			t.Logf("New(%d,%d): %v", m, n, err)
+			return false
+		}
+		segs, err := c.Split(msg)
+		if err != nil {
+			t.Logf("Split: %v", err)
+			return false
+		}
+		perm := rng.Perm(n)[:m]
+		subset := make([]Segment, m)
+		for i, p := range perm {
+			subset[i] = segs[p]
+		}
+		got, err := c.Reconstruct(subset)
+		if err != nil {
+			t.Logf("Reconstruct(m=%d,n=%d,subset=%v): %v", m, n, perm, err)
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSegmentSizesUniform checks that every segment produced by
+// Split has size exactly SegmentSize(len(msg)).
+func TestQuickSegmentSizesUniform(t *testing.T) {
+	f := func(rawM, rawN uint8, msg []byte) bool {
+		m := 1 + int(rawM)%12
+		n := m + int(rawN)%12
+		c, err := New(m, n)
+		if err != nil {
+			return false
+		}
+		segs, err := c.Split(msg)
+		if err != nil {
+			return false
+		}
+		want := c.SegmentSize(len(msg))
+		for _, s := range segs {
+			if len(s.Data) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFewerThanMFails checks the converse: any subset of fewer than
+// m distinct segments must be rejected (never silently mis-decode).
+func TestQuickFewerThanMFails(t *testing.T) {
+	f := func(seed int64, rawM, rawN uint8, msg []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + int(rawM)%10
+		n := m + int(rawN)%10
+		c, err := New(m, n)
+		if err != nil {
+			return false
+		}
+		segs, err := c.Split(msg)
+		if err != nil {
+			return false
+		}
+		take := 1 + rng.Intn(m-1) // strictly fewer than m
+		perm := rng.Perm(n)[:take]
+		subset := make([]Segment, take)
+		for i, p := range perm {
+			subset[i] = segs[p]
+		}
+		_, err = c.Reconstruct(subset)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

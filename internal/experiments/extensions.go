@@ -1,0 +1,393 @@
+package experiments
+
+// Extension experiments beyond the paper's tables and figures: the §5
+// anonymity analysis validated empirically, the membership-staleness
+// ablation, the §7 weighted-allocation future-work item, and the §3
+// mutual-anonymity extension's overhead.
+
+import (
+	"fmt"
+
+	"resilientmix/internal/adversary"
+	"resilientmix/internal/analytic"
+	"resilientmix/internal/core"
+	"resilientmix/internal/mixchoice"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/sim"
+	"resilientmix/internal/stats"
+)
+
+// Ext1 validates the §5 anonymity analysis empirically: paths are
+// constructed in a simulated network, colluding compromised relays
+// mount the predecessor attack, and the measured initiator exposure is
+// compared against Equation 4 (both the published form and the exact
+// form with the binomial coefficient restored).
+func Ext1(opts Options) (*Result, error) {
+	n := 1024
+	events := 20000
+	if opts.Quick {
+		n, events = 256, 4000
+	}
+	w, err := core.NewWorld(core.WorldConfig{N: n, Seed: opts.Seed + 77})
+	if err != nil {
+		return nil, err
+	}
+
+	// Record real constructed paths (healthy network: construction
+	// always succeeds, so the sample is unbiased).
+	type pathObs struct {
+		initiator netsim.NodeID
+		relays    []netsim.NodeID
+	}
+	var observed []pathObs
+	rng := w.Eng.RNG()
+	provider := w.Provider(0)
+	for ev := 0; ev < events; ev++ {
+		init := netsim.NodeID(rng.Intn(n))
+		resp := netsim.NodeID(rng.Intn(n))
+		if init == resp {
+			continue
+		}
+		paths, err := mixchoice.SelectPaths(rng, mixchoice.Random, provider.Candidates(init), 1, core.DefaultL, init, resp)
+		if err != nil {
+			continue
+		}
+		observed = append(observed, pathObs{init, paths[0]})
+	}
+
+	res := &Result{
+		ID:      "ext1",
+		Caption: "Initiator exposure under the predecessor attack: empirical vs Equation 4 (L=3)",
+		Header:  []string{"f", "empirical", "Eq.4 exact", "Eq.4 published", "uniform guess"},
+	}
+	for _, f := range []float64{0.05, 0.10, 0.20, 0.30} {
+		adv, err := adversary.NewRandom(rng, n, f)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range observed {
+			if adv.Compromised(p.initiator) {
+				continue // §5 analyzes paths initiated by honest nodes
+			}
+			adv.ObservePath(p.initiator, p.relays)
+		}
+		honest := n - adv.Count()
+		score := adv.Score(honest)
+		exact, err := analytic.InitiatorProbabilityExact(n, f, core.DefaultL)
+		if err != nil {
+			return nil, err
+		}
+		published, err := analytic.InitiatorProbability(n, f, core.DefaultL)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%.2f", f),
+			fmt.Sprintf("%.4f", score.InitiatorExposure),
+			fmt.Sprintf("%.4f", exact),
+			fmt.Sprintf("%.4f", published),
+			fmt.Sprintf("%.4f", 1/float64(n)),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"empirical exposure should match the exact form (first-relay-malicious probability is exactly f)",
+		"the published Eq.4 omits C(L,i) and is a lower bound; both far exceed the uniform-guess baseline",
+	)
+	return res, nil
+}
+
+// Ext2 measures what membership staleness costs: biased-choice setup
+// success under oracle (the paper's assumption), hierarchical OneHop,
+// and plain epidemic gossip, at the paper's churn rate.
+func Ext2(opts Options) (*Result, error) {
+	n := 256
+	if opts.Quick {
+		n = 128
+	}
+	modes := []struct {
+		name string
+		mode core.MembershipMode
+	}{
+		{"oracle (paper's OneHop assumption)", core.OracleMembership},
+		{"hierarchical OneHop", core.OneHopMembership},
+		{"epidemic gossip", core.GossipMembership},
+	}
+	protocols := []struct {
+		name   string
+		params core.Params
+	}{
+		{"CurMix", core.Params{Protocol: core.CurMix, Strategy: mixchoice.Biased}},
+		{"SimEra(k=2,r=2)", core.Params{Protocol: core.SimEra, K: 2, R: 2, Strategy: mixchoice.Biased}},
+	}
+
+	type cellJob struct{ mi, pi int }
+	var jobs []cellJob
+	for mi := range modes {
+		for pi := range protocols {
+			jobs = append(jobs, cellJob{mi, pi})
+		}
+	}
+	rates, err := parallelMap(len(jobs), func(i int) (setupResult, error) {
+		j := jobs[i]
+		cfg := paperSetup(opts, opts.Seed+int64(i)*60013, protocols[j.pi].params)
+		cfg.n = n
+		cfg.measure = 15 * sim.Minute
+		return runSetupWithMembership(cfg, modes[j.mi].mode)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		ID:      "ext2",
+		Caption: "Biased-choice setup success vs membership freshness (Pareto churn, median 1h)",
+		Header:  []string{"Membership", "CurMix", "SimEra(k=2,r=2)"},
+	}
+	for mi, m := range modes {
+		row := []string{m.name}
+		for pi := range protocols {
+			for i, j := range jobs {
+				if j.mi == mi && j.pi == pi {
+					row = append(row, fmtPct(rates[i].rate))
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"fresher membership -> better biased choice; the oracle bounds what any dissemination can achieve",
+		"the gap between oracle and gossip explains why our Table 1 biased rates exceed the paper's 80-96%",
+	)
+	return res, nil
+}
+
+// Ext3 evaluates the §7 future-work item: weighted allocation of coded
+// segments (more segments on predicted-stable paths) against SimEra's
+// even split, measured as delivered messages over a fixed churn window
+// with random mix choice (where path stabilities genuinely differ).
+func Ext3(opts Options) (*Result, error) {
+	n := 256
+	seeds := 8
+	if opts.Quick {
+		n, seeds = 128, 4
+	}
+	run := func(weighted bool, seed int64) (float64, error) {
+		w, err := core.NewWorld(core.WorldConfig{
+			N: n, Seed: seed,
+			Lifetime: stats.Pareto{Alpha: 1, Beta: 1800},
+			Pinned:   []netsim.NodeID{0, 1},
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := w.StartChurn(); err != nil {
+			return 0, err
+		}
+		w.Run(50 * sim.Minute)
+		sess, err := w.NewSession(0, 1, core.Params{
+			Protocol: core.SimEra, K: 4, R: 2, SegmentsPerPath: 4,
+			Strategy: mixchoice.Random, Weighted: weighted,
+			MaxEstablishAttempts: 200,
+		})
+		if err != nil {
+			return 0, err
+		}
+		done := false
+		ok := false
+		sess.OnEstablished = func(o bool, _ int) { ok, done = o, true }
+		sess.Establish()
+		deadline := w.Eng.Now() + 30*sim.Minute
+		for !done && w.Eng.Now() < deadline {
+			w.Run(w.Eng.Now() + 10*sim.Second)
+		}
+		if !ok {
+			return 0, nil
+		}
+		delivered := 0
+		sentCount := 0
+		w.Receivers[1].SetOnDelivered(func(uint64, []byte, sim.Time) { delivered++ })
+		end := w.Eng.Now() + 30*sim.Minute
+		var tick func()
+		tick = func() {
+			if w.Eng.Now() >= end {
+				return
+			}
+			if _, err := sess.SendMessage(make([]byte, 1024)); err == nil {
+				sentCount++
+			}
+			w.Eng.Schedule(10*sim.Second, tick)
+		}
+		w.Eng.Schedule(0, tick)
+		w.Run(end + 30*sim.Second)
+		if sentCount == 0 {
+			return 0, nil
+		}
+		return float64(delivered) / float64(sentCount), nil
+	}
+
+	type variant struct {
+		weighted bool
+		seed     int64
+	}
+	var jobs []variant
+	for s := 0; s < seeds; s++ {
+		jobs = append(jobs,
+			variant{false, opts.Seed + int64(s)*7017881},
+			variant{true, opts.Seed + int64(s)*7017881})
+	}
+	vals, err := parallelMap(len(jobs), func(i int) (float64, error) {
+		return run(jobs[i].weighted, jobs[i].seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var even, weighted float64
+	for i, j := range jobs {
+		if j.weighted {
+			weighted += vals[i]
+		} else {
+			even += vals[i]
+		}
+	}
+	even /= float64(seeds)
+	weighted /= float64(seeds)
+
+	res := &Result{
+		ID:      "ext3",
+		Caption: "Even (SimEra) vs weighted segment allocation: delivery rate over 30 min of churn (k=4, r=2, s=4, random choice)",
+		Header:  []string{"Allocation", "delivery rate"},
+		Rows: [][]string{
+			{"even (paper §4.7)", fmtPct(even)},
+			{"weighted (paper §7 future work)", fmtPct(weighted)},
+		},
+	}
+	res.Notes = append(res.Notes,
+		"weighted allocation steers segments away from paths whose relays' predictor q has collapsed, so a message needs fewer surviving paths than the even split's k/r — a large win under random choice, where the initial path set contains weak paths",
+	)
+	return res, nil
+}
+
+// Ext4 measures the cost of mutual anonymity (§3's extra level of
+// redirection): latency and per-message bandwidth of a direct SimEra
+// session against the same conversation run through a rendezvous.
+func Ext4(opts Options) (*Result, error) {
+	n := 256
+	msgs := 30
+	if opts.Quick {
+		n, msgs = 128, 10
+	}
+	w, err := core.NewWorld(core.WorldConfig{N: n, Seed: opts.Seed + 99})
+	if err != nil {
+		return nil, err
+	}
+	const (
+		cli = netsim.NodeID(0)
+		srv = netsim.NodeID(1)
+		rzn = netsim.NodeID(2)
+	)
+	params := core.Params{Protocol: core.SimEra, K: 2, R: 2, Strategy: mixchoice.Biased}
+
+	// Direct leg.
+	direct, err := w.NewSession(cli, srv, params)
+	if err != nil {
+		return nil, err
+	}
+	direct.Establish()
+	w.Run(w.Eng.Now() + sim.Minute)
+	if !direct.Established() {
+		return nil, fmt.Errorf("ext4: direct session failed")
+	}
+	var directLat []float64
+	sentAt := make(map[uint64]sim.Time)
+	w.Receivers[srv].SetOnDelivered(func(mid uint64, _ []byte, at sim.Time) {
+		if s, ok := sentAt[mid]; ok {
+			directLat = append(directLat, (at-s).Seconds()*1000)
+		}
+	})
+	for i := 0; i < msgs; i++ {
+		if mid, err := direct.SendMessage(make([]byte, 1024)); err == nil {
+			sentAt[mid] = w.Eng.Now()
+		}
+		w.Run(w.Eng.Now() + 5*sim.Second)
+	}
+	directStats := direct.Stats()
+
+	// Rendezvous leg.
+	w.NewRendezvous(rzn)
+	hidden, err := w.NewSession(srv, rzn, params)
+	if err != nil {
+		return nil, err
+	}
+	hidden.Establish()
+	w.Run(w.Eng.Now() + sim.Minute)
+	client, err := w.NewSession(cli, rzn, params)
+	if err != nil {
+		return nil, err
+	}
+	client.Establish()
+	w.Run(w.Eng.Now() + sim.Minute)
+	if !hidden.Established() || !client.Established() {
+		return nil, fmt.Errorf("ext4: rendezvous sessions failed")
+	}
+	const tag = 0x7a6
+	if err := hidden.RegisterService(tag); err != nil {
+		return nil, err
+	}
+	w.Run(w.Eng.Now() + 10*sim.Second)
+
+	var anonLat []float64
+	convSent := make(map[uint64]sim.Time)
+	hidden.OnInbound = func(conv uint64, _ []byte, at sim.Time) {
+		if s, ok := convSent[conv]; ok {
+			anonLat = append(anonLat, (at-s).Seconds()*1000)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		now := w.Eng.Now()
+		if conv, err := client.SendServiceMessage(tag, make([]byte, 1024)); err == nil {
+			convSent[conv] = now
+		}
+		w.Run(w.Eng.Now() + 5*sim.Second)
+	}
+	clientStats := client.Stats()
+	hiddenStats := hidden.Stats()
+
+	directBW := 0.0
+	if directStats.MessagesSent > 0 {
+		directBW = float64(directStats.DataFlow.Bytes) / float64(directStats.MessagesSent) / 1024
+	}
+	anonBW := 0.0
+	if len(convSent) > 0 {
+		anonBW = float64(clientStats.DataFlow.Bytes+hiddenStats.DataFlow.Bytes) / float64(len(convSent)) / 1024
+	}
+	res := &Result{
+		ID:      "ext4",
+		Caption: "Cost of mutual anonymity: direct SimEra(2,2) vs rendezvous redirection (1 KB messages)",
+		Header:  []string{"Leg", "mean latency (ms)", "bandwidth (KB/msg)", "delivered"},
+		Rows: [][]string{
+			{"direct (initiator anonymity)", fmt.Sprintf("%.0f", stats.Mean(directLat)), fmt.Sprintf("%.1f", directBW), fmt.Sprintf("%d/%d", len(directLat), msgs)},
+			{"rendezvous (mutual anonymity)", fmt.Sprintf("%.0f", stats.Mean(anonLat)), fmt.Sprintf("%.1f", anonBW), fmt.Sprintf("%d/%d", len(anonLat), msgs)},
+		},
+	}
+	res.Notes = append(res.Notes,
+		"mutual anonymity roughly doubles path length (2L+2 hops vs L+1), so latency and bandwidth roughly double — the §3 trade-off made concrete",
+	)
+	return res, nil
+}
+
+// runSetupWithMembership is runSetup with a selectable membership mode.
+func runSetupWithMembership(cfg setupConfig, mode core.MembershipMode) (setupResult, error) {
+	w, err := core.NewWorld(core.WorldConfig{
+		N:          cfg.n,
+		Seed:       cfg.seed,
+		Lifetime:   cfg.lifetime,
+		Membership: mode,
+	})
+	if err != nil {
+		return setupResult{}, err
+	}
+	if err := w.StartChurn(); err != nil {
+		return setupResult{}, err
+	}
+	return driveSetup(w, cfg)
+}

@@ -1,0 +1,205 @@
+package gf256
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if got := Add(0x53, 0xca); got != 0x53^0xca {
+		t.Fatalf("Add(0x53, 0xca) = %#x, want %#x", got, 0x53^0xca)
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	cases := []struct{ a, b, want byte }{
+		{0, 0, 0},
+		{0, 7, 0},
+		{7, 0, 0},
+		{1, 1, 1},
+		{1, 0xff, 0xff},
+		{2, 2, 4},
+		{2, 0x80, 0x1d}, // 0x100 reduced by poly 0x11d
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x, %#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// refMul is an independent carry-less ("Russian peasant") multiply used
+// to validate the table-driven implementation.
+func refMul(a, b byte) byte {
+	var p byte
+	aa, bb := int(a), int(b)
+	for bb > 0 {
+		if bb&1 != 0 {
+			p ^= byte(aa)
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= Poly
+		}
+		bb >>= 1
+	}
+	return p
+}
+
+func TestMulMatchesReference(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		for b := 0; b < Order; b++ {
+			if got, want := Mul(byte(a), byte(b)), refMul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%#x, %#x) = %#x, want %#x", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("Mul(%#x, 1) != %#x", a, a)
+		}
+	}
+}
+
+func TestInvRoundTrip(t *testing.T) {
+	for a := 1; a < Order; a++ {
+		inv := Inv(byte(a))
+		if got := Mul(byte(a), inv); got != 1 {
+			t.Fatalf("Mul(%#x, Inv(%#x)) = %#x, want 1", a, a, got)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivInverseOfMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(1, 0) did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpGeneratesWholeGroup(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < Order-1; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != Order-1 {
+		t.Fatalf("generator produced %d distinct nonzero elements, want %d", len(seen), Order-1)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Error("Pow(0, 0) should be 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Error("Pow(0, 5) should be 0")
+	}
+	for a := 1; a < Order; a++ {
+		want := byte(1)
+		for n := 0; n < 6; n++ {
+			if got := Pow(byte(a), n); got != want {
+				t.Fatalf("Pow(%#x, %d) = %#x, want %#x", a, n, got, want)
+			}
+			want = Mul(want, byte(a))
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0x80, 0xff}
+	dst := make([]byte, len(src))
+	for _, c := range []byte{0, 1, 2, 0x1d, 0xff} {
+		MulSlice(dst, src, c)
+		for i := range src {
+			if dst[i] != Mul(src[i], c) {
+				t.Fatalf("MulSlice c=%#x: dst[%d] = %#x, want %#x", c, i, dst[i], Mul(src[i], c))
+			}
+		}
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 0x80, 0xff}
+	for _, c := range []byte{0, 1, 2, 0x1d, 0xff} {
+		dst := []byte{9, 8, 7, 6, 5}
+		want := make([]byte, len(dst))
+		for i := range dst {
+			want[i] = dst[i] ^ Mul(src[i], c)
+		}
+		MulAddSlice(dst, src, c)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("MulAddSlice c=%#x: dst[%d] = %#x, want %#x", c, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulSlice with mismatched lengths did not panic")
+		}
+	}()
+	MulSlice(make([]byte, 2), make([]byte, 3), 1)
+}
+
+func BenchmarkMulAddSlice(b *testing.B) {
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(dst, src, 0x57)
+	}
+}

@@ -1,0 +1,194 @@
+package gf256
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix struct {
+	rows, cols int
+	data       []byte // len == rows*cols
+}
+
+// NewMatrix returns a zero matrix with the given dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("gf256: matrix dimensions must be positive")
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde returns the rows×cols matrix with entry (i, j) = i^j.
+// Any subset of `cols` rows with distinct evaluation points is
+// invertible, which is the property erasure coding relies on.
+func Vandermonde(rows, cols int) *Matrix {
+	if rows > Order {
+		panic("gf256: Vandermonde matrix limited to 256 rows")
+	}
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, Pow(byte(i), j))
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the entry at row r, column c.
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.cols+c] }
+
+// Set assigns the entry at row r, column c.
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Equal reports whether two matrices have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if o.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m × o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("gf256: cannot multiply %dx%d by %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	p := NewMatrix(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.Row(i)
+		prow := p.Row(i)
+		for k, a := range mrow {
+			if a != 0 {
+				MulAddSlice(prow, o.Row(k), a)
+			}
+		}
+	}
+	return p
+}
+
+// MulVec computes dst = m × v where v is treated as a column vector.
+// len(v) must equal m.Cols() and len(dst) must equal m.Rows().
+func (m *Matrix) MulVec(dst, v []byte) {
+	if len(v) != m.cols || len(dst) != m.rows {
+		panic("gf256: MulVec dimension mismatch")
+	}
+	for i := 0; i < m.rows; i++ {
+		var acc byte
+		for j, a := range m.Row(i) {
+			if a != 0 && v[j] != 0 {
+				acc ^= Mul(a, v[j])
+			}
+		}
+		dst[i] = acc
+	}
+}
+
+// SubMatrix returns the matrix formed by the given rows, in order.
+func (m *Matrix) SubMatrix(rows []int) *Matrix {
+	s := NewMatrix(len(rows), m.cols)
+	for i, r := range rows {
+		copy(s.Row(i), m.Row(r))
+	}
+	return s
+}
+
+// swapRows exchanges rows i and j in place.
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination with partial pivoting, or an error if the matrix is
+// singular. The receiver is not modified.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("gf256: cannot invert %dx%d non-square matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("gf256: singular matrix (no pivot in column %d)", col)
+		}
+		a.swapRows(col, pivot)
+		inv.swapRows(col, pivot)
+		// Scale pivot row to make the pivot 1.
+		if p := a.At(col, col); p != 1 {
+			ip := Inv(p)
+			MulSlice(a.Row(col), a.Row(col), ip)
+			MulSlice(inv.Row(col), inv.Row(col), ip)
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := a.At(r, col); f != 0 {
+				MulAddSlice(a.Row(r), a.Row(col), f)
+				MulAddSlice(inv.Row(r), inv.Row(col), f)
+			}
+		}
+	}
+	return inv, nil
+}
+
+// String renders the matrix in hex, one row per line.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%02x", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, byte(rng.Intn(256)))
+		}
+	}
+	if !Identity(4).Mul(m).Equal(m) {
+		t.Error("I * M != M")
+	}
+	if !m.Mul(Identity(4)).Equal(m) {
+		t.Error("M * I != M")
+	}
+}
+
+func TestVandermondeShape(t *testing.T) {
+	v := Vandermonde(6, 3)
+	if v.Rows() != 6 || v.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 6x3", v.Rows(), v.Cols())
+	}
+	for i := 0; i < 6; i++ {
+		if v.At(i, 0) != 1 {
+			t.Errorf("row %d col 0 = %#x, want 1", i, v.At(i, 0))
+		}
+		if v.At(i, 1) != byte(i) {
+			t.Errorf("row %d col 1 = %#x, want %#x", i, v.At(i, 1), i)
+		}
+		if v.At(i, 2) != Mul(byte(i), byte(i)) {
+			t.Errorf("row %d col 2 = %#x, want i^2", i, v.At(i, 2))
+		}
+	}
+}
+
+func TestVandermondeRowSubsetsInvertible(t *testing.T) {
+	// Every subset of m rows of an n x m Vandermonde matrix must be
+	// invertible; spot-check many random subsets.
+	const n, m = 12, 5
+	v := Vandermonde(n, m)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		rows := rng.Perm(n)[:m]
+		sub := v.SubMatrix(rows)
+		inv, err := sub.Invert()
+		if err != nil {
+			t.Fatalf("rows %v: %v", rows, err)
+		}
+		if !sub.Mul(inv).Equal(Identity(m)) {
+			t.Fatalf("rows %v: A * A^-1 != I", rows)
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	// Row 2 equals row 0: singular.
+	for j := 0; j < 3; j++ {
+		m.Set(0, j, byte(j+1))
+		m.Set(1, j, byte(7*j+2))
+		m.Set(2, j, byte(j+1))
+	}
+	if _, err := m.Invert(); err == nil {
+		t.Fatal("inverting a singular matrix did not fail")
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("inverting a non-square matrix did not fail")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(5, 4)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, byte(rng.Intn(256)))
+		}
+	}
+	v := NewMatrix(4, 1)
+	vec := make([]byte, 4)
+	for j := 0; j < 4; j++ {
+		vec[j] = byte(rng.Intn(256))
+		v.Set(j, 0, vec[j])
+	}
+	want := m.Mul(v)
+	got := make([]byte, 5)
+	m.MulVec(got, vec)
+	for i := 0; i < 5; i++ {
+		if got[i] != want.At(i, 0) {
+			t.Fatalf("MulVec[%d] = %#x, want %#x", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestSubMatrixOrderPreserved(t *testing.T) {
+	m := Vandermonde(5, 2)
+	s := m.SubMatrix([]int{4, 1})
+	if s.At(0, 1) != 4 || s.At(1, 1) != 1 {
+		t.Fatalf("SubMatrix did not preserve requested row order: %v", s)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := Identity(3)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := Identity(2).String()
+	want := "01 00\n00 01\n"
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}
+
+func BenchmarkInvert8x8(b *testing.B) {
+	v := Vandermonde(16, 8)
+	rows := []int{15, 3, 8, 1, 12, 6, 0, 9}
+	sub := v.SubMatrix(rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sub.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package livenet
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onion"
+)
+
+// Path is an established live onion path from this node to a responder.
+type Path struct {
+	SID       uint64
+	Relays    []netsim.NodeID
+	Responder netsim.NodeID
+
+	node          *Node
+	keys          [][]byte
+	respKey       []byte
+	sealedRespKey []byte
+	replies       chan []byte
+}
+
+// Construct builds an onion path through the given relays to the
+// responder (§4.1) and blocks until the end-to-end construction ack
+// arrives or the configured timeout elapses.
+func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path, error) {
+	if len(relays) == 0 {
+		return nil, errors.New("livenet: path needs at least one relay")
+	}
+	roster := n.roster()
+	for _, r := range relays {
+		if r == n.cfg.ID || r == responder {
+			return nil, fmt.Errorf("livenet: relay %d collides with an endpoint", r)
+		}
+		if _, err := roster.Peer(r); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := roster.Peer(responder); err != nil {
+		return nil, err
+	}
+
+	keys := make([][]byte, len(relays))
+	for i := range keys {
+		k, err := n.cfg.Suite.NewSymKey(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	respKey, err := n.cfg.Suite.NewSymKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := n.cfg.Suite.Seal(rand.Reader, roster.Public(responder), respKey)
+	if err != nil {
+		return nil, err
+	}
+	onionBytes, err := onion.BuildConstructOnion(n.cfg.Suite, rand.Reader, roster, relays, responder, keys)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Path{
+		SID:           newSID(),
+		Relays:        append([]netsim.NodeID(nil), relays...),
+		Responder:     responder,
+		node:          n,
+		keys:          keys,
+		respKey:       respKey,
+		sealedRespKey: sealed,
+		replies:       make(chan []byte, 64),
+	}
+	ack := make(chan struct{})
+	n.mu.Lock()
+	n.acks[p.SID] = ack
+	n.mu.Unlock()
+
+	if err := n.send(relays[0], frame{
+		kind: kindConstruct,
+		sid:  p.SID,
+		body: prependSender(n.cfg.ID, onionBytes),
+	}); err != nil {
+		n.mu.Lock()
+		delete(n.acks, p.SID)
+		n.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case <-ack:
+	case <-time.After(n.cfg.ConstructTimeout):
+		n.mu.Lock()
+		delete(n.acks, p.SID)
+		n.mu.Unlock()
+		return nil, fmt.Errorf("livenet: construction ack timeout after %v", n.cfg.ConstructTimeout)
+	}
+	n.mu.Lock()
+	n.paths[p.SID] = p
+	n.mu.Unlock()
+	return p, nil
+}
+
+// ConstructWithData builds the path with the first payload riding the
+// construction onion (§4.2's combined pass): the responder receives the
+// message one half-trip after launch, and the method returns once the
+// construction ack arrives (or the timeout elapses).
+func (n *Node) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID, data []byte) (*Path, error) {
+	if len(relays) == 0 {
+		return nil, errors.New("livenet: path needs at least one relay")
+	}
+	roster := n.roster()
+	for _, r := range relays {
+		if r == n.cfg.ID || r == responder {
+			return nil, fmt.Errorf("livenet: relay %d collides with an endpoint", r)
+		}
+		if _, err := roster.Peer(r); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := roster.Peer(responder); err != nil {
+		return nil, err
+	}
+	keys := make([][]byte, len(relays))
+	for i := range keys {
+		k, err := n.cfg.Suite.NewSymKey(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	respKey, err := n.cfg.Suite.NewSymKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := n.cfg.Suite.Seal(rand.Reader, roster.Public(responder), respKey)
+	if err != nil {
+		return nil, err
+	}
+	onionBytes, err := onion.BuildConstructOnion(n.cfg.Suite, rand.Reader, roster, relays, responder, keys)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := onion.BuildPayloadOnion(n.cfg.Suite, rand.Reader, keys, responder, respKey, sealed, data)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Path{
+		SID:           newSID(),
+		Relays:        append([]netsim.NodeID(nil), relays...),
+		Responder:     responder,
+		node:          n,
+		keys:          keys,
+		respKey:       respKey,
+		sealedRespKey: sealed,
+		replies:       make(chan []byte, 64),
+	}
+	ack := make(chan struct{})
+	n.mu.Lock()
+	n.acks[p.SID] = ack
+	// Register the path before sending so reverse replies racing the ack
+	// are not lost.
+	n.paths[p.SID] = p
+	n.mu.Unlock()
+
+	body := make([]byte, 4+len(onionBytes)+len(payload))
+	binary.BigEndian.PutUint32(body, uint32(len(onionBytes)))
+	copy(body[4:], onionBytes)
+	copy(body[4+len(onionBytes):], payload)
+	if err := n.send(relays[0], frame{
+		kind: kindConstructData,
+		sid:  p.SID,
+		body: prependSender(n.cfg.ID, body),
+	}); err != nil {
+		n.mu.Lock()
+		delete(n.acks, p.SID)
+		delete(n.paths, p.SID)
+		n.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case <-ack:
+	case <-time.After(n.cfg.ConstructTimeout):
+		n.mu.Lock()
+		delete(n.acks, p.SID)
+		delete(n.paths, p.SID)
+		n.mu.Unlock()
+		return nil, fmt.Errorf("livenet: construction ack timeout after %v", n.cfg.ConstructTimeout)
+	}
+	return p, nil
+}
+
+// Send routes an application payload down the path to its responder
+// (§4.2).
+func (p *Path) Send(data []byte) error {
+	return p.sendTo(p.Responder, data, p.respKey, p.sealedRespKey)
+}
+
+func (p *Path) sendTo(dest netsim.NodeID, data, respKey, sealed []byte) error {
+	body, err := onion.BuildPayloadOnion(p.node.cfg.Suite, rand.Reader, p.keys, dest, respKey, sealed, data)
+	if err != nil {
+		return err
+	}
+	return p.node.send(p.Relays[0], frame{kind: kindData, sid: p.SID, body: body})
+}
+
+// Replies streams decrypted reverse-path payloads (responder answers).
+// The channel is buffered; a full buffer drops the oldest semantics are
+// NOT provided — slow consumers lose newest messages instead.
+func (p *Path) Replies() <-chan []byte { return p.replies }
+
+// Teardown forgets the path locally; relay-side state ages out via TTL.
+func (p *Path) Teardown() {
+	p.node.mu.Lock()
+	delete(p.node.paths, p.SID)
+	p.node.mu.Unlock()
+}
+
+// deliverReverse peels all layers of a reverse message and hands the
+// plaintext to the replies channel.
+func (p *Path) deliverReverse(body []byte) {
+	for _, k := range p.keys {
+		pt, err := p.node.cfg.Suite.SymOpen(k, body)
+		if err != nil {
+			return
+		}
+		body = pt
+	}
+	pt, err := p.node.cfg.Suite.SymOpen(p.respKey, body)
+	if err != nil {
+		return
+	}
+	select {
+	case p.replies <- pt:
+	default: // slow consumer: drop
+	}
+}

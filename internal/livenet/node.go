@@ -1,0 +1,494 @@
+package livenet
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onion"
+	"resilientmix/internal/onioncrypt"
+)
+
+// DataFunc receives a decrypted application payload at a live responder
+// together with a reply handle.
+type DataFunc func(h ReplyHandle, data []byte)
+
+// Config assembles a live node.
+type Config struct {
+	// ID is this node's roster identity.
+	ID netsim.NodeID
+	// Roster is the deployment membership and PKI.
+	Roster *Roster
+	// Private is this node's private key (matching its roster entry).
+	Private onioncrypt.PrivateKey
+	// Suite selects the cryptography; nil selects ECIES (real crypto is
+	// the point of a live node).
+	Suite onioncrypt.Suite
+	// StateTTL bounds idle relay state; zero selects 10 minutes.
+	StateTTL time.Duration
+	// DialTimeout bounds outbound connection attempts; zero selects 5s.
+	DialTimeout time.Duration
+	// ConstructTimeout bounds the wait for a construction ack; zero
+	// selects 10s.
+	ConstructTimeout time.Duration
+	// OnData enables the responder role.
+	OnData DataFunc
+}
+
+// Node is a live peer: relay always, initiator and responder on demand.
+// All methods are safe for concurrent use.
+//
+// Backward routing note: in the simulator, netsim hands every handler
+// the sender's identity. TCP does not (connections come from ephemeral
+// ports), so construct and deliver frames carry the sender's 4-byte
+// roster id in-band. This reveals nothing the protocol doesn't already:
+// each relay knows its predecessor by design (§5's analysis is built on
+// exactly that), and the responder learns only the terminal relay.
+type Node struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	forward  map[uint64]*liveState
+	reverse  map[uint64]*liveState
+	acks     map[uint64]chan struct{} // initiator: pending construction acks
+	paths    map[uint64]*Path         // initiator: established paths by sid
+	respKeys map[uint64]respStream    // responder: inbound stream keys
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type liveState struct {
+	prev     netsim.NodeID
+	prevSID  uint64
+	next     netsim.NodeID
+	nextSID  uint64
+	key      []byte
+	terminal bool
+	expires  time.Time
+}
+
+type respStream struct {
+	relay netsim.NodeID
+	key   []byte
+}
+
+// Start launches a node listening on addr ("127.0.0.1:0" in tests; the
+// roster address in deployments). It returns once the listener is live.
+func Start(addr string, cfg Config) (*Node, error) {
+	if cfg.Roster == nil {
+		return nil, errors.New("livenet: config needs a roster")
+	}
+	if _, err := cfg.Roster.Peer(cfg.ID); err != nil {
+		return nil, err
+	}
+	if len(cfg.Private) == 0 {
+		return nil, errors.New("livenet: config needs the private key")
+	}
+	if cfg.Suite == nil {
+		cfg.Suite = onioncrypt.ECIES{}
+	}
+	if cfg.StateTTL <= 0 {
+		cfg.StateTTL = 10 * time.Minute
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ConstructTimeout <= 0 {
+		cfg.ConstructTimeout = 10 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: listen: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		ln:       ln,
+		forward:  make(map[uint64]*liveState),
+		reverse:  make(map[uint64]*liveState),
+		acks:     make(map[uint64]chan struct{}),
+		paths:    make(map[uint64]*Path),
+		respKeys: make(map[uint64]respStream),
+		quit:     make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.sweepLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// SetRoster replaces the node's roster. Clusters that bind ephemeral
+// ports start with a provisional roster and install the final one (with
+// real addresses) once every listener is up.
+func (n *Node) SetRoster(r *Roster) {
+	n.mu.Lock()
+	n.cfg.Roster = r
+	n.mu.Unlock()
+}
+
+// roster returns the current roster under the lock.
+func (n *Node) roster() *Roster {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.cfg.Roster
+}
+
+// ID returns the node's roster identity.
+func (n *Node) ID() netsim.NodeID { return n.cfg.ID }
+
+// Close stops the listener and waits for in-flight handlers. It is
+// idempotent.
+func (n *Node) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.quit)
+		err = n.ln.Close()
+		n.wg.Wait()
+	})
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			defer conn.Close()
+			conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+			f, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			n.handle(f)
+		}()
+	}
+}
+
+// sweepLoop reclaims expired relay state (§4.3's TTL).
+func (n *Node) sweepLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.StateTTL / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			n.mu.Lock()
+			for sid, st := range n.forward {
+				if st.expires.Before(now) {
+					delete(n.forward, sid)
+				}
+			}
+			for sid, st := range n.reverse {
+				if st.expires.Before(now) {
+					delete(n.reverse, sid)
+				}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// send dials a peer and writes one frame.
+func (n *Node) send(to netsim.NodeID, f frame) error {
+	conn, err := n.roster().dial(to, n.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+	return writeFrame(conn, f)
+}
+
+func newSID() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("livenet: crypto/rand failed: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// prependSender tags a frame body with the sending node's roster id.
+func prependSender(id netsim.NodeID, body []byte) []byte {
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(id))
+	copy(out[4:], body)
+	return out
+}
+
+func splitSender(body []byte) (netsim.NodeID, []byte, error) {
+	if len(body) < 4 {
+		return netsim.Invalid, nil, errors.New("livenet: short body")
+	}
+	return netsim.NodeID(binary.BigEndian.Uint32(body)), body[4:], nil
+}
+
+func (n *Node) handle(f frame) {
+	switch f.kind {
+	case kindConstruct:
+		n.handleConstruct(f)
+	case kindAck:
+		n.handleAck(f)
+	case kindData:
+		n.handleData(f)
+	case kindDeliver:
+		n.handleDeliver(f)
+	case kindReverse:
+		n.handleReverse(f)
+	case kindConstructData:
+		n.handleConstructData(f)
+	}
+}
+
+// handleConstruct installs relay path state from one onion layer and
+// either forwards the inner onion or acknowledges back (terminal).
+func (n *Node) handleConstruct(f frame) {
+	from, onionBytes, err := splitSender(f.body)
+	if err != nil {
+		return
+	}
+	if _, err := n.roster().Peer(from); err != nil {
+		return
+	}
+	layer, err := onion.ParseConstructLayer(n.cfg.Suite, n.cfg.Private, onionBytes)
+	if err != nil {
+		return
+	}
+	st := &liveState{
+		prev:     from,
+		prevSID:  f.sid,
+		next:     layer.Next,
+		nextSID:  newSID(),
+		key:      layer.Key,
+		terminal: layer.Terminal,
+		expires:  time.Now().Add(n.cfg.StateTTL),
+	}
+	n.mu.Lock()
+	n.forward[f.sid] = st
+	n.reverse[st.nextSID] = st
+	n.mu.Unlock()
+	if layer.Terminal {
+		n.send(from, frame{kind: kindAck, sid: f.sid})
+		return
+	}
+	n.send(layer.Next, frame{kind: kindConstruct, sid: st.nextSID, body: prependSender(n.cfg.ID, layer.Inner)})
+}
+
+// handleConstructData is the §4.2 combined pass over TCP: install path
+// state from the onion layer, strip one payload layer, and forward (or
+// deliver + ack at the terminal relay).
+func (n *Node) handleConstructData(f frame) {
+	from, rest, err := splitSender(f.body)
+	if err != nil || len(rest) < 4 {
+		return
+	}
+	if _, err := n.roster().Peer(from); err != nil {
+		return
+	}
+	onionLen := binary.BigEndian.Uint32(rest)
+	if uint64(onionLen) > uint64(len(rest)-4) {
+		return
+	}
+	onionBytes := rest[4 : 4+onionLen]
+	payload := rest[4+onionLen:]
+
+	layer, err := onion.ParseConstructLayer(n.cfg.Suite, n.cfg.Private, onionBytes)
+	if err != nil {
+		return
+	}
+	pt, err := n.cfg.Suite.SymOpen(layer.Key, payload)
+	if err != nil {
+		return
+	}
+	st := &liveState{
+		prev:     from,
+		prevSID:  f.sid,
+		next:     layer.Next,
+		nextSID:  newSID(),
+		key:      layer.Key,
+		terminal: layer.Terminal,
+		expires:  time.Now().Add(n.cfg.StateTTL),
+	}
+	n.mu.Lock()
+	n.forward[f.sid] = st
+	n.reverse[st.nextSID] = st
+	n.mu.Unlock()
+
+	if layer.Terminal {
+		dest, blob, err := onion.ParseTerminalPayload(pt)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if dest != st.next {
+			delete(n.reverse, st.nextSID)
+			st.next = dest
+			st.nextSID = newSID()
+			n.reverse[st.nextSID] = st
+		}
+		sid := st.nextSID
+		n.mu.Unlock()
+		n.send(dest, frame{kind: kindDeliver, sid: sid, body: prependSender(n.cfg.ID, blob)})
+		n.send(from, frame{kind: kindAck, sid: f.sid})
+		return
+	}
+	inner := make([]byte, 4+len(layer.Inner)+len(pt))
+	binary.BigEndian.PutUint32(inner, uint32(len(layer.Inner)))
+	copy(inner[4:], layer.Inner)
+	copy(inner[4+len(layer.Inner):], pt)
+	n.send(layer.Next, frame{kind: kindConstructData, sid: st.nextSID, body: prependSender(n.cfg.ID, inner)})
+}
+
+// handleAck completes a local construction or forwards the ack backward.
+func (n *Node) handleAck(f frame) {
+	n.mu.Lock()
+	if ch, ok := n.acks[f.sid]; ok {
+		delete(n.acks, f.sid)
+		n.mu.Unlock()
+		close(ch)
+		return
+	}
+	st, ok := n.reverse[f.sid]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	n.send(st.prev, frame{kind: kindAck, sid: st.prevSID})
+}
+
+// handleData strips one payload layer and forwards it; at the terminal
+// relay the inner destination receives the responder blob.
+func (n *Node) handleData(f frame) {
+	n.mu.Lock()
+	st, ok := n.forward[f.sid]
+	if ok && st.expires.Before(time.Now()) {
+		delete(n.forward, f.sid)
+		ok = false
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	pt, err := n.cfg.Suite.SymOpen(st.key, f.body)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	st.expires = time.Now().Add(n.cfg.StateTTL)
+	n.mu.Unlock()
+	if !st.terminal {
+		n.send(st.next, frame{kind: kindData, sid: st.nextSID, body: pt})
+		return
+	}
+	dest, blob, err := onion.ParseTerminalPayload(pt)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	if dest != st.next {
+		// §4.4 path reuse: rebind the downstream stream.
+		delete(n.reverse, st.nextSID)
+		st.next = dest
+		st.nextSID = newSID()
+		n.reverse[st.nextSID] = st
+	}
+	sid := st.nextSID
+	n.mu.Unlock()
+	n.send(dest, frame{kind: kindDeliver, sid: sid, body: prependSender(n.cfg.ID, blob)})
+}
+
+// handleDeliver runs the responder role.
+func (n *Node) handleDeliver(f frame) {
+	if n.cfg.OnData == nil {
+		return
+	}
+	relay, blob, err := splitSender(f.body)
+	if err != nil {
+		return
+	}
+	if _, err := n.roster().Peer(relay); err != nil {
+		return
+	}
+	sealedKey, ct, err := onion.ParseResponderBlob(blob)
+	if err != nil {
+		return
+	}
+	key, err := n.cfg.Suite.Open(n.cfg.Private, sealedKey)
+	if err != nil || len(key) != onioncrypt.SymKeySize {
+		return
+	}
+	data, err := n.cfg.Suite.SymOpen(key, ct)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.respKeys[f.sid] = respStream{relay: relay, key: key}
+	n.mu.Unlock()
+	n.cfg.OnData(ReplyHandle{node: n, sid: f.sid, relay: relay, key: key}, data)
+}
+
+// handleReverse peels replies at the initiator or wraps-and-forwards at
+// a relay.
+func (n *Node) handleReverse(f frame) {
+	n.mu.Lock()
+	if p, ok := n.paths[f.sid]; ok {
+		n.mu.Unlock()
+		p.deliverReverse(f.body)
+		return
+	}
+	st, ok := n.reverse[f.sid]
+	if ok && st.expires.Before(time.Now()) {
+		delete(n.reverse, f.sid)
+		ok = false
+	}
+	if ok {
+		st.expires = time.Now().Add(n.cfg.StateTTL)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	wrapped, err := n.cfg.Suite.SymSeal(rand.Reader, st.key, f.body)
+	if err != nil {
+		return
+	}
+	n.send(st.prev, frame{kind: kindReverse, sid: st.prevSID, body: wrapped})
+}
+
+// ReplyHandle lets a live responder answer along the delivering path.
+type ReplyHandle struct {
+	node  *Node
+	sid   uint64
+	relay netsim.NodeID
+	key   []byte
+}
+
+// From returns the terminal relay the payload arrived through.
+func (h ReplyHandle) From() netsim.NodeID { return h.relay }
+
+// Reply encrypts data with the stream key and sends it up the reverse
+// path.
+func (h ReplyHandle) Reply(data []byte) error {
+	ct, err := h.node.cfg.Suite.SymSeal(rand.Reader, h.key, data)
+	if err != nil {
+		return err
+	}
+	return h.node.send(h.relay, frame{kind: kindReverse, sid: h.sid, body: ct})
+}

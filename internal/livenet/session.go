@@ -1,0 +1,314 @@
+package livenet
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientmix/internal/erasure"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/wire"
+)
+
+// This file is SimEra over real sockets: a LiveSession owns k live onion
+// paths to one responder, erasure-codes each message over them (§4.7's
+// even allocation), collects end-to-end acknowledgments, and marks paths
+// dead on ack timeout (§4.5). The LiveCollector is the responder side:
+// it reassembles messages from any m segments and acks each one.
+
+// Application-layer kinds inside live payloads.
+const (
+	liveKindSegment byte = 1
+	liveKindAck     byte = 2
+)
+
+type liveSegment struct {
+	mid    uint64
+	index  int32
+	total  int32
+	needed int32
+	data   []byte
+}
+
+func (s liveSegment) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(liveKindSegment)
+	w.Uint64(s.mid)
+	w.Int32(s.index)
+	w.Int32(s.total)
+	w.Int32(s.needed)
+	w.Bytes32(s.data)
+	return w.Bytes()
+}
+
+type liveAck struct {
+	mid   uint64
+	index int32
+}
+
+func (a liveAck) encode() []byte {
+	w := wire.NewWriter()
+	w.Byte(liveKindAck)
+	w.Uint64(a.mid)
+	w.Int32(a.index)
+	return w.Bytes()
+}
+
+func decodeLive(b []byte) (kind byte, seg liveSegment, ack liveAck, err error) {
+	rd := wire.NewReader(b)
+	kind = rd.Byte()
+	switch kind {
+	case liveKindSegment:
+		seg = liveSegment{
+			mid:    rd.Uint64(),
+			index:  rd.Int32(),
+			total:  rd.Int32(),
+			needed: rd.Int32(),
+		}
+		seg.data = append([]byte(nil), rd.Bytes32()...)
+	case liveKindAck:
+		ack = liveAck{mid: rd.Uint64(), index: rd.Int32()}
+	default:
+		return 0, seg, ack, fmt.Errorf("livenet: unknown app kind %d", kind)
+	}
+	if e := rd.Done(); e != nil {
+		return 0, seg, ack, e
+	}
+	return kind, seg, ack, nil
+}
+
+// LiveDelivered is invoked when the collector reconstructs a message.
+type LiveDelivered func(mid uint64, data []byte)
+
+// LiveCollector is the responder-side reassembler. Install its Handle
+// method as the node's OnData.
+type LiveCollector struct {
+	mu        sync.Mutex
+	pending   map[uint64]map[int32]erasure.Segment
+	done      map[uint64]bool
+	delivered LiveDelivered
+}
+
+// NewLiveCollector creates a collector delivering reconstructed
+// messages to the callback.
+func NewLiveCollector(delivered LiveDelivered) *LiveCollector {
+	return &LiveCollector{
+		pending:   make(map[uint64]map[int32]erasure.Segment),
+		done:      make(map[uint64]bool),
+		delivered: delivered,
+	}
+}
+
+// Handle is the node's OnData: it acks every segment and reconstructs
+// once m distinct segments of a message arrived.
+func (c *LiveCollector) Handle(h ReplyHandle, data []byte) {
+	kind, seg, _, err := decodeLive(data)
+	if err != nil || kind != liveKindSegment {
+		return
+	}
+	if seg.needed < 1 || seg.total < seg.needed || seg.index < 0 || seg.index >= seg.total ||
+		seg.total > int32(erasure.MaxSegments) {
+		return
+	}
+	// Ack first — the initiator's failure detector keys on this.
+	h.Reply(liveAck{mid: seg.mid, index: seg.index}.encode())
+
+	c.mu.Lock()
+	if c.done[seg.mid] {
+		c.mu.Unlock()
+		return
+	}
+	segs := c.pending[seg.mid]
+	if segs == nil {
+		segs = make(map[int32]erasure.Segment)
+		c.pending[seg.mid] = segs
+	}
+	if _, dup := segs[seg.index]; !dup {
+		segs[seg.index] = erasure.Segment{Index: int(seg.index), Data: seg.data}
+	}
+	ready := int32(len(segs)) >= seg.needed
+	var batch []erasure.Segment
+	if ready {
+		c.done[seg.mid] = true
+		delete(c.pending, seg.mid)
+		for _, s := range segs {
+			batch = append(batch, s)
+		}
+	}
+	c.mu.Unlock()
+	if !ready {
+		return
+	}
+	code, err := erasure.New(int(seg.needed), int(seg.total))
+	if err != nil {
+		return
+	}
+	msg, err := code.Reconstruct(batch)
+	if err != nil {
+		return
+	}
+	if c.delivered != nil {
+		c.delivered(seg.mid, msg)
+	}
+}
+
+// LiveSession is an erasure-coded multipath session over live paths.
+type LiveSession struct {
+	node       *Node
+	code       *erasure.Code
+	k, r       int
+	ackTimeout time.Duration
+
+	mu    sync.Mutex
+	paths []*Path
+	alive []bool
+	acked map[uint64]map[int32]bool
+}
+
+// NewLiveSession constructs k node-disjoint live paths through the given
+// relay lists to the responder and wires reverse-path ack handling.
+// relayLists must hold k disjoint lists; r is the replication factor
+// (k must be a multiple of r).
+func (n *Node) NewLiveSession(relayLists [][]netsim.NodeID, responder netsim.NodeID, r int, ackTimeout time.Duration) (*LiveSession, error) {
+	k := len(relayLists)
+	if k < 1 || r < 1 || k%r != 0 {
+		return nil, fmt.Errorf("livenet: k=%d must be a positive multiple of r=%d", k, r)
+	}
+	if ackTimeout <= 0 {
+		ackTimeout = 5 * time.Second
+	}
+	code, err := erasure.New(k/r, k)
+	if err != nil {
+		return nil, err
+	}
+	s := &LiveSession{
+		node:       n,
+		code:       code,
+		k:          k,
+		r:          r,
+		ackTimeout: ackTimeout,
+		alive:      make([]bool, k),
+		acked:      make(map[uint64]map[int32]bool),
+	}
+	var firstErr error
+	for i, relays := range relayLists {
+		p, err := n.Construct(relays, responder)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			s.paths = append(s.paths, nil)
+			continue
+		}
+		s.paths = append(s.paths, p)
+		s.alive[i] = true
+		go s.ackLoop(i, p)
+	}
+	if s.AlivePaths() < k/r {
+		return nil, fmt.Errorf("livenet: only %d/%d paths constructed (need %d): %w",
+			s.AlivePaths(), k, k/r, firstErr)
+	}
+	return s, nil
+}
+
+// AlivePaths returns the number of live path slots.
+func (s *LiveSession) AlivePaths() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// ackLoop consumes a path's reverse traffic, recording segment acks.
+func (s *LiveSession) ackLoop(slot int, p *Path) {
+	for body := range p.replies {
+		kind, _, ack, err := decodeLive(body)
+		if err != nil || kind != liveKindAck {
+			continue
+		}
+		s.mu.Lock()
+		if m := s.acked[ack.mid]; m != nil {
+			m[ack.index] = true
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Send erasure-codes data over the live paths (one segment per path,
+// §4.7's even allocation with s=1) and arms the §4.5 ack timeout: paths
+// whose segment is not acknowledged in time are marked dead. It returns
+// the message id.
+func (s *LiveSession) Send(data []byte) (uint64, error) {
+	segs, err := s.code.Split(data)
+	if err != nil {
+		return 0, err
+	}
+	var midBuf [8]byte
+	if _, err := rand.Read(midBuf[:]); err != nil {
+		return 0, err
+	}
+	mid := binary.BigEndian.Uint64(midBuf[:])
+
+	s.mu.Lock()
+	s.acked[mid] = make(map[int32]bool)
+	type sendJob struct {
+		slot int
+		p    *Path
+		seg  erasure.Segment
+	}
+	var jobs []sendJob
+	for i, p := range s.paths {
+		if p == nil || !s.alive[i] {
+			continue
+		}
+		jobs = append(jobs, sendJob{i, p, segs[i]})
+	}
+	s.mu.Unlock()
+	if len(jobs) == 0 {
+		return 0, errors.New("livenet: no live paths")
+	}
+
+	for _, j := range jobs {
+		msg := liveSegment{
+			mid:    mid,
+			index:  int32(j.seg.Index),
+			total:  int32(s.code.N()),
+			needed: int32(s.code.M()),
+			data:   j.seg.Data,
+		}
+		j.p.Send(msg.encode())
+	}
+
+	// Failure detection: after the timeout, unacked slots are dead.
+	time.AfterFunc(s.ackTimeout, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		acks := s.acked[mid]
+		delete(s.acked, mid)
+		for _, j := range jobs {
+			if acks != nil && !acks[int32(j.seg.Index)] {
+				s.alive[j.slot] = false
+			}
+		}
+	})
+	return mid, nil
+}
+
+// Teardown forgets all paths locally.
+func (s *LiveSession) Teardown() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.paths {
+		if p != nil {
+			p.Teardown()
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package membership manages each node's view of the rest of the
+// network: the node cache with the paper's exact liveness merge rules
+// (§4.9 "Learning Node Liveness Information"), the epidemic/gossip
+// dissemination protocol (§4.8), and an oracle provider matching the
+// "accurate and complete membership information" that the paper's
+// augmented OneHop layer supplies (§6.1; DESIGN.md substitution 1).
+package membership
+
+import (
+	"sort"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/predictor"
+	"resilientmix/internal/sim"
+)
+
+// Candidate is a node as seen by mix choice: its identity, its liveness
+// predictor value q at query time, and the underlying Δt_alive used to
+// break ties between equally fresh candidates (bigger is better under a
+// heavy-tailed lifetime distribution).
+type Candidate struct {
+	ID       netsim.NodeID
+	Q        float64
+	AliveFor sim.Time
+}
+
+// Provider exposes the candidate set a node draws relay nodes from.
+type Provider interface {
+	// Candidates returns every known node except self, in unspecified
+	// order. The slice is freshly allocated and owned by the caller.
+	Candidates(self netsim.NodeID) []Candidate
+}
+
+// QProvider is optionally implemented by providers that can report a
+// single node's liveness predictor without materializing the whole
+// candidate set (used by failure prediction and weighted allocation).
+type QProvider interface {
+	Q(id netsim.NodeID) float64
+}
+
+// Cache is one node's membership cache: for every known node it stores
+// the liveness triple (Δt_alive, Δt_since, t_last) and applies the
+// paper's direct/indirect merge rules.
+type Cache struct {
+	self    netsim.NodeID
+	eng     *sim.Engine
+	entries map[netsim.NodeID]predictor.Info
+	limit   int // 0 = unbounded
+}
+
+// NewCache creates an empty cache for the given node.
+func NewCache(self netsim.NodeID, eng *sim.Engine) *Cache {
+	return &Cache{self: self, eng: eng, entries: make(map[netsim.NodeID]predictor.Info)}
+}
+
+// SetLimit bounds the cache to at most limit entries; when a new node
+// would exceed it, the entry with the lowest liveness predictor (the
+// stalest or deadest information) is evicted. Zero removes the bound.
+// The paper sizes node caches implicitly by the membership protocol;
+// real deployments need an explicit cap.
+func (c *Cache) SetLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	c.limit = limit
+	c.enforceLimit()
+}
+
+// enforceLimit evicts lowest-q entries until the cache fits.
+func (c *Cache) enforceLimit() {
+	if c.limit <= 0 || len(c.entries) <= c.limit {
+		return
+	}
+	now := c.eng.Now()
+	type scored struct {
+		id netsim.NodeID
+		q  float64
+	}
+	all := make([]scored, 0, len(c.entries))
+	for id, info := range c.entries {
+		all = append(all, scored{id, predictor.Q(info, now)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].q != all[j].q {
+			return all[i].q < all[j].q
+		}
+		return all[i].id < all[j].id
+	})
+	for _, s := range all[:len(all)-c.limit] {
+		delete(c.entries, s.id)
+	}
+}
+
+// Len returns the number of cached nodes.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Lookup returns the stored liveness info for id.
+func (c *Cache) Lookup(id netsim.NodeID) (predictor.Info, bool) {
+	info, ok := c.entries[id]
+	return info, ok
+}
+
+// HeardDirectly applies the first merge rule of §4.9: we received a
+// packet from the node itself, carrying its self-reported Δt_alive.
+// The entry's Δt_since resets to zero and t_last becomes now.
+func (c *Cache) HeardDirectly(id netsim.NodeID, aliveFor sim.Time) {
+	if id == c.self {
+		return
+	}
+	c.entries[id] = predictor.Info{
+		AliveFor:  aliveFor,
+		Since:     0,
+		LastHeard: c.eng.Now(),
+	}
+	c.enforceLimit()
+}
+
+// HeardIndirectly applies the second merge rule of §4.9: node A told us
+// about node B with the supplied (Δt_alive, Δt_since). The gossiped
+// values replace ours only if the received Δt_since is smaller (fresher)
+// or B is unknown.
+func (c *Cache) HeardIndirectly(id netsim.NodeID, aliveFor, since sim.Time) {
+	if id == c.self {
+		return
+	}
+	now := c.eng.Now()
+	cur, ok := c.entries[id]
+	if ok {
+		// Compare freshness as of now: our stored since ages with the
+		// local clock (Equation 3's t_now - t_last term).
+		if since >= predictor.EffectiveSince(cur, now) {
+			return // ours is at least as fresh
+		}
+	}
+	c.entries[id] = predictor.Info{AliveFor: aliveFor, Since: since, LastHeard: now}
+	c.enforceLimit()
+}
+
+// HeardDown records an explicit leave event (OneHop-style membership
+// disseminates departures; plain gossip does not). The same freshness
+// rule applies: a stale death report must not override fresher liveness
+// information.
+func (c *Cache) HeardDown(id netsim.NodeID, aliveFor, since sim.Time) {
+	if id == c.self {
+		return
+	}
+	now := c.eng.Now()
+	if cur, ok := c.entries[id]; ok {
+		if since >= predictor.EffectiveSince(cur, now) {
+			return
+		}
+	}
+	c.entries[id] = predictor.Info{AliveFor: aliveFor, Since: since, LastHeard: now, Down: true}
+	c.enforceLimit()
+}
+
+// Q returns the liveness predictor for a cached node at the current
+// time, or 0 if the node is unknown.
+func (c *Cache) Q(id netsim.NodeID) float64 {
+	info, ok := c.entries[id]
+	if !ok {
+		return 0
+	}
+	return predictor.Q(info, c.eng.Now())
+}
+
+// Candidates implements Provider: all cached nodes with their q values.
+func (c *Cache) Candidates(self netsim.NodeID) []Candidate {
+	now := c.eng.Now()
+	out := make([]Candidate, 0, len(c.entries))
+	for id, info := range c.entries {
+		if id == self {
+			continue
+		}
+		out = append(out, Candidate{ID: id, Q: predictor.Q(info, now), AliveFor: info.AliveFor})
+	}
+	// Map iteration order is random (and not from the engine's RNG);
+	// sort for determinism. Callers that need a shuffle do it themselves
+	// with the engine's RNG.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GossipEntries selects up to max entries to piggyback on a gossip
+// message, with Δt_since aged to the present per §4.9. Entries are
+// chosen uniformly at random using the engine's RNG.
+func (c *Cache) GossipEntries(max int) []GossipEntry {
+	now := c.eng.Now()
+	ids := make([]netsim.NodeID, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) > max {
+		rng := c.eng.RNG()
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		ids = ids[:max]
+	}
+	out := make([]GossipEntry, len(ids))
+	for i, id := range ids {
+		info := c.entries[id]
+		out[i] = GossipEntry{
+			ID:       id,
+			AliveFor: info.AliveFor,
+			Since:    predictor.EffectiveSince(info, now),
+		}
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package membership
+
+import (
+	"testing"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/sim"
+	"resilientmix/internal/topology"
+)
+
+func newEnv(t *testing.T, n int, seed int64) (*sim.Engine, *netsim.Network) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	lat, err := topology.Uniform(n, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, netsim.New(eng, lat)
+}
+
+func TestCacheHeardDirectly(t *testing.T) {
+	eng, _ := newEnv(t, 4, 1)
+	c := NewCache(0, eng)
+	eng.Schedule(10*sim.Second, func() {
+		c.HeardDirectly(1, 500*sim.Second)
+	})
+	eng.RunAll()
+	info, ok := c.Lookup(1)
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if info.AliveFor != 500*sim.Second || info.Since != 0 || info.LastHeard != 10*sim.Second {
+		t.Fatalf("info = %+v", info)
+	}
+	if c.Q(1) != 1 {
+		t.Fatalf("q = %g immediately after direct contact, want 1", c.Q(1))
+	}
+}
+
+func TestCacheIgnoresSelf(t *testing.T) {
+	eng, _ := newEnv(t, 4, 1)
+	c := NewCache(2, eng)
+	c.HeardDirectly(2, sim.Hour)
+	c.HeardIndirectly(2, sim.Hour, 0)
+	if c.Len() != 0 {
+		t.Fatal("cache stored an entry for its own node")
+	}
+}
+
+func TestCacheIndirectFreshnessRule(t *testing.T) {
+	// §4.9: a received entry replaces the stored one only if its
+	// Δt_since is smaller (fresher).
+	eng, _ := newEnv(t, 4, 1)
+	c := NewCache(0, eng)
+	c.HeardIndirectly(1, 100*sim.Second, 50*sim.Second)
+	// Staler information must be ignored.
+	c.HeardIndirectly(1, 999*sim.Second, 80*sim.Second)
+	info, _ := c.Lookup(1)
+	if info.AliveFor != 100*sim.Second {
+		t.Fatalf("stale gossip overwrote fresher entry: %+v", info)
+	}
+	// Fresher information must win.
+	c.HeardIndirectly(1, 200*sim.Second, 10*sim.Second)
+	info, _ = c.Lookup(1)
+	if info.AliveFor != 200*sim.Second || info.Since != 10*sim.Second {
+		t.Fatalf("fresh gossip did not overwrite: %+v", info)
+	}
+}
+
+func TestCacheFreshnessAgesWithLocalClock(t *testing.T) {
+	// A stored entry becomes less fresh as local time passes (Equation 3)
+	// so gossip that would have been stale earlier can win later.
+	eng, _ := newEnv(t, 4, 1)
+	c := NewCache(0, eng)
+	c.HeardIndirectly(1, 100*sim.Second, 0) // perfectly fresh at t=0
+	eng.Schedule(60*sim.Second, func() {
+		// Our entry is now effectively 60s stale; a 30s-stale report wins.
+		c.HeardIndirectly(1, 130*sim.Second, 30*sim.Second)
+	})
+	eng.RunAll()
+	info, _ := c.Lookup(1)
+	if info.AliveFor != 130*sim.Second {
+		t.Fatalf("aged entry was not replaced: %+v", info)
+	}
+}
+
+func TestCacheUnknownNodeQ(t *testing.T) {
+	eng, _ := newEnv(t, 4, 1)
+	c := NewCache(0, eng)
+	if c.Q(3) != 0 {
+		t.Fatal("unknown node should have q = 0")
+	}
+}
+
+func TestCandidatesExcludeSelfAndSorted(t *testing.T) {
+	eng, _ := newEnv(t, 8, 1)
+	c := NewCache(0, eng)
+	for i := 7; i >= 1; i-- {
+		c.HeardDirectly(netsim.NodeID(i), sim.Time(i)*sim.Second)
+	}
+	cands := c.Candidates(0)
+	if len(cands) != 7 {
+		t.Fatalf("got %d candidates, want 7", len(cands))
+	}
+	for i, cd := range cands {
+		if cd.ID == 0 {
+			t.Fatal("self in candidates")
+		}
+		if i > 0 && cands[i-1].ID >= cd.ID {
+			t.Fatal("candidates not sorted by ID")
+		}
+	}
+}
+
+func TestGossipEntriesAgeSince(t *testing.T) {
+	eng, _ := newEnv(t, 4, 1)
+	c := NewCache(0, eng)
+	c.HeardIndirectly(1, 100*sim.Second, 20*sim.Second)
+	var entries []GossipEntry
+	eng.Schedule(30*sim.Second, func() { entries = c.GossipEntries(10) })
+	eng.RunAll()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %v", entries)
+	}
+	if entries[0].Since != 50*sim.Second {
+		t.Fatalf("piggybacked since = %v, want 20s stored + 30s local", entries[0].Since)
+	}
+}
+
+func TestCacheLimitEvictsStalest(t *testing.T) {
+	eng, _ := newEnv(t, 16, 1)
+	c := NewCache(0, eng)
+	c.SetLimit(3)
+	// Insert entries of increasing freshness/quality.
+	c.HeardDown(1, 100*sim.Second, 10*sim.Second)       // q = 0 (down)
+	c.HeardIndirectly(2, 100*sim.Second, 90*sim.Second) // stale
+	c.HeardDirectly(3, 1000*sim.Second)                 // fresh
+	c.HeardDirectly(4, 2000*sim.Second)                 // fresh, older node
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// The down entry (lowest q) must be the one evicted.
+	if _, ok := c.Lookup(1); ok {
+		t.Fatal("down entry survived eviction")
+	}
+	for _, id := range []netsim.NodeID{2, 3, 4} {
+		if _, ok := c.Lookup(id); !ok {
+			t.Fatalf("entry %d evicted wrongly", id)
+		}
+	}
+	// Shrinking the limit evicts immediately.
+	c.SetLimit(1)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after shrink, want 1", c.Len())
+	}
+	if _, ok := c.Lookup(3); !ok {
+		if _, ok := c.Lookup(4); !ok {
+			t.Fatal("both fresh entries evicted")
+		}
+	}
+	// Zero removes the bound.
+	c.SetLimit(0)
+	for i := 5; i < 15; i++ {
+		c.HeardDirectly(netsim.NodeID(i), sim.Second)
+	}
+	if c.Len() != 11 {
+		t.Fatalf("unbounded len = %d, want 11", c.Len())
+	}
+	c.SetLimit(-5) // negative clamps to unbounded
+	if c.Len() != 11 {
+		t.Fatal("negative limit evicted entries")
+	}
+}
+
+func TestGossipEntriesBounded(t *testing.T) {
+	eng, _ := newEnv(t, 64, 1)
+	c := NewCache(0, eng)
+	for i := 1; i < 64; i++ {
+		c.HeardDirectly(netsim.NodeID(i), sim.Second)
+	}
+	if got := len(c.GossipEntries(16)); got != 16 {
+		t.Fatalf("GossipEntries returned %d, want 16", got)
+	}
+	if got := len(c.GossipEntries(1000)); got != 63 {
+		t.Fatalf("GossipEntries returned %d, want all 63", got)
+	}
+}
+
+func TestOracleTracksSessions(t *testing.T) {
+	eng, net := newEnv(t, 4, 1)
+	o := NewOracle(net)
+	eng.Schedule(100*sim.Second, func() { net.SetUp(1, false) })
+	eng.Schedule(150*sim.Second, func() { net.SetUp(1, true) })
+	eng.Schedule(175*sim.Second, func() {
+		info := o.Info(1)
+		if info.AliveFor != 25*sim.Second || info.Since != 0 {
+			t.Errorf("rejoined node info = %+v, want fresh 25s session", info)
+		}
+	})
+	eng.Schedule(120*sim.Second, func() {
+		info := o.Info(1)
+		if info.AliveFor != 100*sim.Second || info.Since != 20*sim.Second {
+			t.Errorf("down node info = %+v, want alive=100s since=20s", info)
+		}
+	})
+	eng.RunAll()
+}
+
+func TestOracleCandidates(t *testing.T) {
+	eng, net := newEnv(t, 8, 1)
+	o := NewOracle(net)
+	eng.Schedule(sim.Hour, func() {
+		net.SetUp(3, false)
+	})
+	eng.Schedule(2*sim.Hour, func() {
+		cands := o.Candidates(0)
+		if len(cands) != 7 {
+			t.Errorf("%d candidates, want 7", len(cands))
+		}
+		for _, cd := range cands {
+			switch cd.ID {
+			case 0:
+				t.Error("self in candidates")
+			case 3:
+				if cd.Q >= 0.9 {
+					t.Errorf("down node q = %g, want decayed", cd.Q)
+				}
+			default:
+				if cd.Q != 1 {
+					t.Errorf("up node %d q = %g, want 1", cd.ID, cd.Q)
+				}
+				if cd.AliveFor != 2*sim.Hour {
+					t.Errorf("up node %d aliveFor = %v", cd.ID, cd.AliveFor)
+				}
+			}
+		}
+	})
+	eng.RunAll()
+}
+
+func TestGossipConfigValidation(t *testing.T) {
+	_, net := newEnv(t, 4, 1)
+	bad := []GossipConfig{
+		{Interval: 0, Fanout: 1, MaxEntries: 1},
+		{Interval: sim.Second, Fanout: 0, MaxEntries: 1},
+		{Interval: sim.Second, Fanout: 1, MaxEntries: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := NewGossip(net, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGossipDisseminatesLiveness(t *testing.T) {
+	eng, net := newEnv(t, 16, 7)
+	g, err := NewGossip(net, DefaultGossipConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		mux := netsim.NewMux()
+		g.Attach(netsim.NodeID(i), mux)
+		net.SetHandler(netsim.NodeID(i), mux)
+	}
+	g.SeedFull()
+	g.Start()
+	eng.Run(5 * sim.Minute)
+	// After five minutes of gossip every node should know node 5's
+	// session age within a couple of rounds' staleness.
+	c := g.CacheOf(9)
+	info, ok := c.Lookup(5)
+	if !ok {
+		t.Fatal("node 9 never learned about node 5")
+	}
+	if info.AliveFor == 0 {
+		t.Fatal("liveness info never updated beyond the seed")
+	}
+	if q := c.Q(5); q < 0.9 {
+		t.Fatalf("q for a continuously-up node = %g, want near 1", q)
+	}
+}
+
+func TestGossipStalenessAfterDeath(t *testing.T) {
+	eng, net := newEnv(t, 16, 8)
+	g, err := NewGossip(net, DefaultGossipConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		mux := netsim.NewMux()
+		g.Attach(netsim.NodeID(i), mux)
+		net.SetHandler(netsim.NodeID(i), mux)
+	}
+	g.SeedFull()
+	g.Start()
+	eng.Run(5 * sim.Minute)
+	qBefore := g.CacheOf(2).Q(11)
+	net.SetUp(11, false)
+	eng.Run(15 * sim.Minute)
+	qAfter := g.CacheOf(2).Q(11)
+	if qAfter >= qBefore {
+		t.Fatalf("q did not decay after node death: before=%g after=%g", qBefore, qAfter)
+	}
+}
+
+func TestGossipMsgWireSize(t *testing.T) {
+	m := GossipMsg{Entries: make([]GossipEntry, 3)}
+	if m.WireSize() != 4+3*20 {
+		t.Fatalf("WireSize = %d, want 64", m.WireSize())
+	}
+}

@@ -1,0 +1,100 @@
+// Package mixchoice selects relay nodes ("mixes") for anonymous paths.
+// It implements the two strategies compared throughout the paper's
+// evaluation (§4.9, §6):
+//
+//   - Random: the baseline used by existing mix-based protocols — relays
+//     drawn uniformly from the membership cache with no liveness
+//     filtering (nodes that have died but remain cached can be picked;
+//     that is precisely the fragility the paper attacks).
+//   - Biased: relays ranked by the node liveness predictor q, ties
+//     broken by observed lifetime Δt_alive (under a heavy-tailed
+//     lifetime distribution, older is safer).
+//
+// Both strategies produce k node-disjoint paths of L relays each; the
+// biased strategy assigns the best-ranked relays to the first path, the
+// next best to the second, and so on — which is what makes "the top k/r
+// paths very stable" in Figure 5(b).
+package mixchoice
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"resilientmix/internal/membership"
+	"resilientmix/internal/netsim"
+)
+
+// Strategy selects how relays are chosen.
+type Strategy int
+
+// Available strategies.
+const (
+	Random Strategy = iota
+	Biased
+)
+
+// String returns the strategy name as used in the paper's tables.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case Biased:
+		return "biased"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// SelectPaths picks k node-disjoint paths of l relays each from the
+// candidate set, excluding the given nodes (normally the initiator and
+// the responder). The rng is used for the random strategy and for
+// tie-shuffling; candidates are not modified.
+func SelectPaths(rng *rand.Rand, strategy Strategy, cands []membership.Candidate, k, l int, exclude ...netsim.NodeID) ([][]netsim.NodeID, error) {
+	if k < 1 || l < 1 {
+		return nil, fmt.Errorf("mixchoice: need k >= 1 and l >= 1, got k=%d l=%d", k, l)
+	}
+	skip := make(map[netsim.NodeID]bool, len(exclude))
+	for _, id := range exclude {
+		skip[id] = true
+	}
+	pool := make([]membership.Candidate, 0, len(cands))
+	for _, c := range cands {
+		if !skip[c.ID] {
+			pool = append(pool, c)
+		}
+	}
+	need := k * l
+	if len(pool) < need {
+		return nil, fmt.Errorf("mixchoice: need %d distinct relays, only %d candidates", need, len(pool))
+	}
+
+	switch strategy {
+	case Random:
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	case Biased:
+		// Shuffle first so that sort ties (equal q and Δt_alive) break
+		// randomly rather than by candidate order.
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		sort.SliceStable(pool, func(i, j int) bool {
+			if pool[i].Q != pool[j].Q {
+				return pool[i].Q > pool[j].Q
+			}
+			return pool[i].AliveFor > pool[j].AliveFor
+		})
+	default:
+		return nil, fmt.Errorf("mixchoice: unknown strategy %d", strategy)
+	}
+
+	paths := make([][]netsim.NodeID, k)
+	idx := 0
+	for p := 0; p < k; p++ {
+		path := make([]netsim.NodeID, l)
+		for h := 0; h < l; h++ {
+			path[h] = pool[idx].ID
+			idx++
+		}
+		paths[p] = path
+	}
+	return paths, nil
+}

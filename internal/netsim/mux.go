@@ -1,0 +1,44 @@
+package netsim
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Mux dispatches a node's incoming messages to per-payload-type handlers
+// so independent subsystems (gossip, onion relay, responder) can share
+// one node. Register a Mux as the node's Handler.
+type Mux struct {
+	routes map[reflect.Type]Handler
+}
+
+// NewMux returns an empty Mux.
+func NewMux() *Mux {
+	return &Mux{routes: make(map[reflect.Type]Handler)}
+}
+
+// Route registers h for messages whose payload has the same dynamic type
+// as prototype. Registering a type twice panics: silently replacing a
+// subsystem's handler is always a wiring bug.
+func (m *Mux) Route(prototype any, h Handler) {
+	t := reflect.TypeOf(prototype)
+	if t == nil {
+		panic("netsim: Route with nil prototype")
+	}
+	if h == nil {
+		panic("netsim: Route with nil handler")
+	}
+	if _, dup := m.routes[t]; dup {
+		panic(fmt.Sprintf("netsim: duplicate route for %v", t))
+	}
+	m.routes[t] = h
+}
+
+// HandleMessage implements Handler, dispatching on the payload type.
+// Messages with no registered route are dropped silently (the node does
+// not understand them — the network equivalent of an unknown protocol).
+func (m *Mux) HandleMessage(from NodeID, msg Message) {
+	if h, ok := m.routes[reflect.TypeOf(msg.Payload)]; ok {
+		h.HandleMessage(from, msg)
+	}
+}

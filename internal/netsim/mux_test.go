@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"testing"
+
+	"resilientmix/internal/sim"
+	"resilientmix/internal/topology"
+)
+
+type msgA struct{ v int }
+type msgB struct{ v string }
+
+func TestMuxDispatchByType(t *testing.T) {
+	eng := sim.NewEngine(1)
+	lat, _ := topology.Uniform(2, 10*sim.Millisecond)
+	net := New(eng, lat)
+
+	mux := NewMux()
+	var gotA []int
+	var gotB []string
+	mux.Route(msgA{}, HandlerFunc(func(_ NodeID, m Message) { gotA = append(gotA, m.Payload.(msgA).v) }))
+	mux.Route(msgB{}, HandlerFunc(func(_ NodeID, m Message) { gotB = append(gotB, m.Payload.(msgB).v) }))
+	net.SetHandler(1, mux)
+
+	net.Send(0, 1, Message{Payload: msgA{7}, Size: 1})
+	net.Send(0, 1, Message{Payload: msgB{"x"}, Size: 1})
+	net.Send(0, 1, Message{Payload: 3.14, Size: 1}) // unrouted: dropped
+	eng.RunAll()
+
+	if len(gotA) != 1 || gotA[0] != 7 {
+		t.Fatalf("gotA = %v", gotA)
+	}
+	if len(gotB) != 1 || gotB[0] != "x" {
+		t.Fatalf("gotB = %v", gotB)
+	}
+}
+
+func TestMuxDuplicateRoutePanics(t *testing.T) {
+	mux := NewMux()
+	mux.Route(msgA{}, HandlerFunc(func(NodeID, Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate route did not panic")
+		}
+	}()
+	mux.Route(msgA{}, HandlerFunc(func(NodeID, Message) {}))
+}
+
+func TestMuxNilArgsPanic(t *testing.T) {
+	mux := NewMux()
+	for _, f := range []func(){
+		func() { mux.Route(nil, HandlerFunc(func(NodeID, Message) {})) },
+		func() { mux.Route(msgB{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,207 @@
+// Package netsim simulates the P2P network's message plane: point-to-
+// point delivery over the topology latency matrix, per-node up/down
+// state driven by churn, and byte-accurate bandwidth accounting.
+//
+// The failure model follows the paper's evaluation: a message is placed
+// on the wire only if the sender is up (its bytes then count toward
+// bandwidth, since they traverse the link even if the destination is
+// gone), and it is delivered only if the destination is up when it
+// arrives. A node that goes down loses its protocol state; handlers
+// observe churn transitions to model that.
+package netsim
+
+import (
+	"fmt"
+
+	"resilientmix/internal/sim"
+	"resilientmix/internal/topology"
+)
+
+// NodeID identifies a node; IDs are dense in [0, N).
+type NodeID int
+
+// Invalid is a sentinel NodeID meaning "no node".
+const Invalid NodeID = -1
+
+// Message is what travels between nodes. Payload is an arbitrary
+// protocol-defined value; Size is the number of bytes the message
+// occupies on the wire and is what bandwidth accounting uses.
+type Message struct {
+	Payload any
+	Size    int
+}
+
+// Handler receives messages delivered to a node.
+type Handler interface {
+	HandleMessage(from NodeID, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from NodeID, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(from NodeID, msg Message) { f(from, msg) }
+
+// StateListener observes node up/down transitions (join/leave churn).
+type StateListener func(id NodeID, up bool)
+
+// Tap observes every message placed on the wire — the vantage point of
+// a passive network adversary ("the attacker can observe some fraction
+// of network traffics", §3). The tap sees link endpoints and sizes; the
+// payload is opaque ciphertext in the real system, so well-behaved taps
+// must not inspect Payload beyond its type.
+type Tap func(from, to NodeID, msg Message)
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	Sent            uint64 // messages placed on the wire
+	Delivered       uint64 // messages handed to a handler
+	DroppedSender   uint64 // sends suppressed because the sender was down
+	DroppedReceiver uint64 // arrivals dropped because the receiver was down
+	DroppedLoss     uint64 // messages lost to random link loss
+	Bytes           uint64 // total bytes placed on the wire (per-link)
+}
+
+// Network is the simulated message plane. It must only be used from the
+// simulation goroutine that drives its Engine.
+type Network struct {
+	eng       *sim.Engine
+	lat       *topology.Matrix
+	up        []bool
+	handlers  []Handler
+	listeners []StateListener
+	taps      []Tap
+	lossRate  float64
+	stats     Stats
+}
+
+// New creates a network over the given latency matrix. All nodes start
+// up and have no handler.
+func New(eng *sim.Engine, lat *topology.Matrix) *Network {
+	n := lat.N()
+	up := make([]bool, n)
+	for i := range up {
+		up[i] = true
+	}
+	return &Network{
+		eng:      eng,
+		lat:      lat,
+		up:       up,
+		handlers: make([]Handler, n),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return len(n.up) }
+
+// Latency returns the one-way latency between two nodes.
+func (n *Network) Latency(from, to NodeID) sim.Time {
+	return n.lat.OneWay(int(from), int(to))
+}
+
+// SetHandler installs the message handler for a node.
+func (n *Network) SetHandler(id NodeID, h Handler) {
+	n.handlers[n.check(id)] = h
+}
+
+// AddStateListener registers a callback invoked on every up/down
+// transition, after the state change is applied.
+func (n *Network) AddStateListener(l StateListener) {
+	n.listeners = append(n.listeners, l)
+}
+
+// AddTap registers a passive wire observer, invoked for every message
+// that actually enters the network.
+func (n *Network) AddTap(t Tap) {
+	n.taps = append(n.taps, t)
+}
+
+// SetLossRate makes every message independently vanish in flight with
+// probability p — random link loss on top of churn. The paper's failure
+// model is node churn only; loss extends the evaluation (erasure-coded
+// multipath masks random loss exactly as it masks path failures).
+func (n *Network) SetLossRate(p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netsim: loss rate %g outside [0,1]", p))
+	}
+	n.lossRate = p
+}
+
+// IsUp reports whether the node is currently up.
+func (n *Network) IsUp(id NodeID) bool { return n.up[n.check(id)] }
+
+// UpCount returns the number of nodes currently up.
+func (n *Network) UpCount() int {
+	c := 0
+	for _, u := range n.up {
+		if u {
+			c++
+		}
+	}
+	return c
+}
+
+// SetUp transitions a node's liveness state. Transitions to the current
+// state are no-ops (listeners are not re-notified).
+func (n *Network) SetUp(id NodeID, up bool) {
+	i := n.check(id)
+	if n.up[i] == up {
+		return
+	}
+	n.up[i] = up
+	for _, l := range n.listeners {
+		l(id, up)
+	}
+}
+
+// Send places a message on the wire from one node to another. If the
+// sender is down nothing is sent. The message's bytes are charged to
+// bandwidth as soon as they are on the wire; delivery occurs one one-way
+// latency later and succeeds only if the destination is up at that time.
+// It reports whether the message was actually transmitted.
+func (n *Network) Send(from, to NodeID, msg Message) bool {
+	fi, ti := n.check(from), n.check(to)
+	if msg.Size < 0 {
+		panic(fmt.Sprintf("netsim: negative message size %d", msg.Size))
+	}
+	if !n.up[fi] {
+		n.stats.DroppedSender++
+		return false
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(msg.Size)
+	for _, tap := range n.taps {
+		tap(from, to, msg)
+	}
+	if n.lossRate > 0 && n.eng.RNG().Float64() < n.lossRate {
+		n.stats.DroppedLoss++
+		return true // bytes entered the wire; the message just never arrives
+	}
+	n.eng.Schedule(n.lat.OneWay(fi, ti), func() {
+		if !n.up[ti] {
+			n.stats.DroppedReceiver++
+			return
+		}
+		h := n.handlers[ti]
+		if h == nil {
+			n.stats.DroppedReceiver++
+			return
+		}
+		n.stats.Delivered++
+		h.HandleMessage(from, msg)
+	})
+	return true
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+func (n *Network) check(id NodeID) int {
+	if id < 0 || int(id) >= len(n.up) {
+		panic(fmt.Sprintf("netsim: node id %d out of range [0, %d)", id, len(n.up)))
+	}
+	return int(id)
+}

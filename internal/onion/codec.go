@@ -1,0 +1,161 @@
+package onion
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/wire"
+)
+
+// ErrMalformedOnion is returned when a decrypted layer does not parse.
+var ErrMalformedOnion = errors.New("onion: malformed layer")
+
+// KeyLookup resolves a node's public key; *Directory implements it, and
+// so does any other PKI source (e.g. a live-deployment roster).
+type KeyLookup interface {
+	Public(id netsim.NodeID) onioncrypt.PublicKey
+}
+
+// BuildConstructOnion produces the nested path-construction onion of
+// §4.1 for the relays P_1..P_L with hop keys R_1..R_L and responder D:
+//
+//	Path_i = < P_{i+1}, R_i, Path_{i+1} >_{PubKey(P_i)},  Path_{L+1} = ⊥
+//
+// The layer for the terminal relay names the responder as its next hop
+// and carries the ⊥ marker so the relay knows the path ends with it.
+func BuildConstructOnion(suite onioncrypt.Suite, r io.Reader, dir KeyLookup, relays []netsim.NodeID, responder netsim.NodeID, keys [][]byte) ([]byte, error) {
+	if len(relays) == 0 {
+		return nil, fmt.Errorf("onion: a path needs at least one relay")
+	}
+	if len(keys) != len(relays) {
+		return nil, fmt.Errorf("onion: %d keys for %d relays", len(keys), len(relays))
+	}
+	inner := []byte(nil) // ⊥
+	for i := len(relays) - 1; i >= 0; i-- {
+		w := wire.NewWriter()
+		next := responder
+		if i < len(relays)-1 {
+			next = relays[i+1]
+		}
+		w.Int32(int32(next))
+		w.Bool(i == len(relays)-1)
+		w.Bytes32(keys[i])
+		w.Bytes32(inner)
+		sealed, err := suite.Seal(r, dir.Public(relays[i]), w.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("onion: sealing layer %d: %w", i, err)
+		}
+		inner = sealed
+	}
+	return inner, nil
+}
+
+// ConstructLayer is one decrypted layer of a construction onion: the
+// next hop, the terminal marker (next hop is the responder and the
+// inner onion is ⊥), the hop's symmetric key and the inner onion.
+type ConstructLayer struct {
+	Next     netsim.NodeID
+	Terminal bool
+	Key      []byte
+	Inner    []byte
+}
+
+// ParseConstructLayer strips one layer with the relay's private key.
+func ParseConstructLayer(suite onioncrypt.Suite, priv onioncrypt.PrivateKey, onion []byte) (ConstructLayer, error) {
+	pt, err := suite.Open(priv, onion)
+	if err != nil {
+		return ConstructLayer{}, err
+	}
+	rd := wire.NewReader(pt)
+	layer := ConstructLayer{
+		Next:     netsim.NodeID(rd.Int32()),
+		Terminal: rd.Bool(),
+	}
+	layer.Key = append([]byte(nil), rd.Bytes32()...)
+	layer.Inner = append([]byte(nil), rd.Bytes32()...)
+	if err := rd.Done(); err != nil {
+		return ConstructLayer{}, fmt.Errorf("%w: %v", ErrMalformedOnion, err)
+	}
+	if layer.Terminal != (len(layer.Inner) == 0) {
+		return ConstructLayer{}, fmt.Errorf("%w: terminal marker disagrees with ⊥", ErrMalformedOnion)
+	}
+	return layer, nil
+}
+
+// BuildPayloadOnion produces the payload onion of §4.2 (with the §4.4
+// last-hop destination field):
+//
+//	PayLoad_{L+1} = < plain >_{respKey}, < respKey >_{PubKey(D)}
+//	PayLoad_L     = < D, PayLoad_{L+1} >_{R_L}
+//	PayLoad_i     = < PayLoad_{i+1} >_{R_i}          1 <= i < L
+//
+// sealedRespKey is < respKey >_{PubKey(D)}, computed once per path by
+// the initiator and reused for every message on it.
+func BuildPayloadOnion(suite onioncrypt.Suite, r io.Reader, keys [][]byte, responder netsim.NodeID, respKey, sealedRespKey, plain []byte) ([]byte, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("onion: a payload onion needs at least one relay key")
+	}
+	ct, err := suite.SymSeal(r, respKey, plain)
+	if err != nil {
+		return nil, fmt.Errorf("onion: sealing responder payload: %w", err)
+	}
+	w := wire.NewWriter()
+	w.Bytes32(sealedRespKey)
+	w.Bytes32(ct)
+	blob := w.Bytes()
+
+	// Terminal relay layer carries the destination override field.
+	lw := wire.NewWriter()
+	lw.Int32(int32(responder))
+	lw.Bytes32(blob)
+	body, err := suite.SymSeal(r, keys[len(keys)-1], lw.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("onion: sealing terminal layer: %w", err)
+	}
+	for i := len(keys) - 2; i >= 0; i-- {
+		body, err = suite.SymSeal(r, keys[i], body)
+		if err != nil {
+			return nil, fmt.Errorf("onion: sealing layer %d: %w", i, err)
+		}
+	}
+	return body, nil
+}
+
+// ParseTerminalPayload splits the decrypted terminal-relay layer into
+// the destination and the responder blob.
+func ParseTerminalPayload(pt []byte) (netsim.NodeID, []byte, error) {
+	rd := wire.NewReader(pt)
+	dest := netsim.NodeID(rd.Int32())
+	blob := rd.Bytes32()
+	if err := rd.Done(); err != nil {
+		return netsim.Invalid, nil, fmt.Errorf("%w: %v", ErrMalformedOnion, err)
+	}
+	return dest, blob, nil
+}
+
+// ParseResponderBlob splits the responder blob into the sealed key and
+// the symmetric ciphertext.
+func ParseResponderBlob(blob []byte) (sealedKey, ct []byte, err error) {
+	rd := wire.NewReader(blob)
+	sealedKey = rd.Bytes32()
+	ct = rd.Bytes32()
+	if err := rd.Done(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrMalformedOnion, err)
+	}
+	return sealedKey, ct, nil
+}
+
+// PayloadOnionSize predicts the on-the-wire size of the outermost
+// payload-onion layer for a path of length L carrying plain bytes of the
+// given length — used by the analytic bandwidth model.
+func PayloadOnionSize(suite onioncrypt.Suite, pathLen, plainLen int) int {
+	// responder blob: 4 + sealedKey(SymKeySize + SealOverhead) + 4 + ct.
+	blob := 4 + onioncrypt.SymKeySize + suite.SealOverhead() + 4 + plainLen + suite.SymOverhead()
+	// terminal layer plaintext: 4 (dest) + 4 + blob.
+	body := 4 + 4 + blob + suite.SymOverhead()
+	// remaining L-1 plain symmetric layers.
+	return body + (pathLen-1)*suite.SymOverhead()
+}

@@ -1,0 +1,60 @@
+package onion
+
+import (
+	"testing"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/sim"
+)
+
+// FuzzParseConstructLayer feeds arbitrary ciphertext to the relay-side
+// onion parser: garbage must fail cleanly, never panic or produce a
+// layer that violates its invariants.
+func FuzzParseConstructLayer(f *testing.F) {
+	suite := onioncrypt.Null{}
+	eng := sim.NewEngine(1)
+	dir, err := NewDirectory(suite, eng.RNG(), 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	keys := [][]byte{make([]byte, onioncrypt.SymKeySize)}
+	good, err := BuildConstructOnion(suite, eng.RNG(), dir, []netsim.NodeID{0}, 3, keys)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+
+	priv := dir.Private(0)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		layer, err := ParseConstructLayer(suite, priv, data)
+		if err != nil {
+			return
+		}
+		// Accepted layers must be internally consistent.
+		if layer.Terminal != (len(layer.Inner) == 0) {
+			t.Fatal("accepted layer violates the terminal/⊥ invariant")
+		}
+	})
+}
+
+// FuzzResponderBlob exercises the delivery-side parsers the responder
+// runs on network input.
+func FuzzResponderBlob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sealed, ct, err := ParseResponderBlob(data); err == nil {
+			if len(sealed)+len(ct) > len(data) {
+				t.Fatal("parsed parts exceed input")
+			}
+		}
+		if _, blob, err := ParseTerminalPayload(data); err == nil {
+			if len(blob) > len(data) {
+				t.Fatal("parsed blob exceeds input")
+			}
+		}
+	})
+}

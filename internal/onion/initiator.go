@@ -1,0 +1,313 @@
+package onion
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resilientmix/internal/metrics"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/sim"
+)
+
+// DefaultConstructTimeout bounds how long the initiator waits for a
+// construction acknowledgment before declaring the attempt failed
+// (§4.5 "timeout and retry mechanisms").
+const DefaultConstructTimeout = 5 * sim.Second
+
+// PathState tracks a path's lifecycle at the initiator.
+type PathState int
+
+// Path lifecycle states.
+const (
+	PathConstructing PathState = iota
+	PathEstablished
+	PathFailed
+)
+
+// String names the state.
+func (s PathState) String() string {
+	switch s {
+	case PathConstructing:
+		return "constructing"
+	case PathEstablished:
+		return "established"
+	case PathFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("PathState(%d)", int(s))
+	}
+}
+
+// target holds the per-responder keys of a path (a reused path can
+// multiplex several responders, §4.4).
+type target struct {
+	key    []byte
+	sealed []byte
+}
+
+// Path is the initiator's record of one anonymous forwarding path.
+type Path struct {
+	// SID is the stream ID on the initiator→first-relay link.
+	SID StreamID
+	// Relays are P_1..P_L in forwarding order.
+	Relays []netsim.NodeID
+	// Responder is the path's current default destination.
+	Responder netsim.NodeID
+	// State is the lifecycle state.
+	State PathState
+	// EstablishedAt is when the construction ack arrived.
+	EstablishedAt sim.Time
+
+	keys    [][]byte // R_1..R_L
+	targets map[netsim.NodeID]*target
+
+	onResult func(*Path, bool) // construction outcome callback
+	timer    *sim.Timer
+}
+
+// ReverseFunc receives a decrypted reverse-path payload at the
+// initiator: the path it arrived on, the responder that sent it, and the
+// plaintext.
+type ReverseFunc func(p *Path, from netsim.NodeID, plain []byte, flow *metrics.Flow)
+
+// Initiator is the sender-side endpoint: it constructs paths (§4.1),
+// sends payload onions (§4.2), reuses paths for new responders (§4.4)
+// and surfaces reverse-path traffic.
+type Initiator struct {
+	id      netsim.NodeID
+	net     *netsim.Network
+	eng     *sim.Engine
+	rng     *rand.Rand
+	suite   onioncrypt.Suite
+	dir     *Directory
+	timeout sim.Time
+
+	paths     map[StreamID]*Path
+	onReverse ReverseFunc
+}
+
+// NewInitiator creates the initiator endpoint for a node. timeout <= 0
+// selects DefaultConstructTimeout.
+func NewInitiator(net *netsim.Network, id netsim.NodeID, dir *Directory, timeout sim.Time, onReverse ReverseFunc) *Initiator {
+	if timeout <= 0 {
+		timeout = DefaultConstructTimeout
+	}
+	return &Initiator{
+		id:        id,
+		net:       net,
+		eng:       net.Engine(),
+		rng:       net.Engine().RNG(),
+		suite:     dir.Suite(),
+		dir:       dir,
+		timeout:   timeout,
+		paths:     make(map[StreamID]*Path),
+		onReverse: onReverse,
+	}
+}
+
+// Owns reports whether sid belongs to one of this initiator's paths.
+func (in *Initiator) Owns(sid StreamID) bool {
+	_, ok := in.paths[sid]
+	return ok
+}
+
+// Paths returns the number of tracked paths.
+func (in *Initiator) Paths() int { return len(in.paths) }
+
+// Forget drops a path's local record (e.g. after it failed and was
+// replaced).
+func (in *Initiator) Forget(p *Path) { delete(in.paths, p.SID) }
+
+// Construct builds and launches a path through the given relays to the
+// responder. The done callback fires exactly once: with true when the
+// construction ack arrives, with false on timeout or on immediate
+// failure (in which case Construct also returns the error).
+func (in *Initiator) Construct(relays []netsim.NodeID, responder netsim.NodeID, flow *metrics.Flow, done func(*Path, bool)) (*Path, error) {
+	if len(relays) == 0 {
+		return nil, fmt.Errorf("onion: path needs at least one relay")
+	}
+	for _, rid := range relays {
+		if rid == in.id || rid == responder {
+			return nil, fmt.Errorf("onion: relay %d collides with an endpoint", rid)
+		}
+	}
+	keys := make([][]byte, len(relays))
+	for i := range keys {
+		k, err := in.suite.NewSymKey(in.rng)
+		if err != nil {
+			return nil, fmt.Errorf("onion: generating hop key: %w", err)
+		}
+		keys[i] = k
+	}
+	p := &Path{
+		SID:       StreamID(in.rng.Uint64()),
+		Relays:    append([]netsim.NodeID(nil), relays...),
+		Responder: responder,
+		State:     PathConstructing,
+		keys:      keys,
+		targets:   make(map[netsim.NodeID]*target),
+		onResult:  done,
+	}
+	if _, err := in.ensureTarget(p, responder); err != nil {
+		return nil, err
+	}
+	onionBytes, err := BuildConstructOnion(in.suite, in.rng, in.dir, relays, responder, keys)
+	if err != nil {
+		return nil, err
+	}
+	in.paths[p.SID] = p
+	msg := ConstructMsg{SID: p.SID, Onion: onionBytes, Flow: flow}
+	send(in.net, in.id, relays[0], msg, msg.WireSize(), flow)
+	p.timer = in.eng.After(in.timeout, func() {
+		if p.State == PathConstructing {
+			p.State = PathFailed
+			in.finish(p, false)
+		}
+	})
+	return p, nil
+}
+
+// ConstructWithData builds a path AND sends the first payload in the
+// same single pass (§4.2's combined mode): the first application message
+// arrives at the responder one half-RTT after launch instead of waiting
+// a full construction round trip. The done callback still reports the
+// construction outcome when the ack returns.
+func (in *Initiator) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID, plain []byte, flow *metrics.Flow, done func(*Path, bool)) (*Path, error) {
+	if len(relays) == 0 {
+		return nil, fmt.Errorf("onion: path needs at least one relay")
+	}
+	for _, rid := range relays {
+		if rid == in.id || rid == responder {
+			return nil, fmt.Errorf("onion: relay %d collides with an endpoint", rid)
+		}
+	}
+	keys := make([][]byte, len(relays))
+	for i := range keys {
+		k, err := in.suite.NewSymKey(in.rng)
+		if err != nil {
+			return nil, fmt.Errorf("onion: generating hop key: %w", err)
+		}
+		keys[i] = k
+	}
+	p := &Path{
+		SID:       StreamID(in.rng.Uint64()),
+		Relays:    append([]netsim.NodeID(nil), relays...),
+		Responder: responder,
+		State:     PathConstructing,
+		keys:      keys,
+		targets:   make(map[netsim.NodeID]*target),
+		onResult:  done,
+	}
+	t, err := in.ensureTarget(p, responder)
+	if err != nil {
+		return nil, err
+	}
+	onionBytes, err := BuildConstructOnion(in.suite, in.rng, in.dir, relays, responder, keys)
+	if err != nil {
+		return nil, err
+	}
+	body, err := BuildPayloadOnion(in.suite, in.rng, keys, responder, t.key, t.sealed, plain)
+	if err != nil {
+		return nil, err
+	}
+	in.paths[p.SID] = p
+	msg := ConstructDataMsg{SID: p.SID, Onion: onionBytes, Body: body, Flow: flow}
+	send(in.net, in.id, relays[0], msg, msg.WireSize(), flow)
+	p.timer = in.eng.After(in.timeout, func() {
+		if p.State == PathConstructing {
+			p.State = PathFailed
+			in.finish(p, false)
+		}
+	})
+	return p, nil
+}
+
+func (in *Initiator) finish(p *Path, ok bool) {
+	if cb := p.onResult; cb != nil {
+		p.onResult = nil
+		cb(p, ok)
+	}
+}
+
+// ensureTarget returns the per-responder keys of a path, creating and
+// sealing them on first use.
+func (in *Initiator) ensureTarget(p *Path, responder netsim.NodeID) (*target, error) {
+	if t, ok := p.targets[responder]; ok {
+		return t, nil
+	}
+	key, err := in.suite.NewSymKey(in.rng)
+	if err != nil {
+		return nil, fmt.Errorf("onion: generating responder key: %w", err)
+	}
+	sealed, err := in.suite.Seal(in.rng, in.dir.Public(responder), key)
+	if err != nil {
+		return nil, fmt.Errorf("onion: sealing responder key: %w", err)
+	}
+	t := &target{key: key, sealed: sealed}
+	p.targets[responder] = t
+	return t, nil
+}
+
+// SendData sends an application payload to the path's default responder.
+func (in *Initiator) SendData(p *Path, plain []byte, flow *metrics.Flow) error {
+	return in.SendDataTo(p, p.Responder, plain, flow)
+}
+
+// SendDataTo sends an application payload over the path to an arbitrary
+// responder, reusing the established path state (§4.4). The path must be
+// established.
+func (in *Initiator) SendDataTo(p *Path, responder netsim.NodeID, plain []byte, flow *metrics.Flow) error {
+	if p.State != PathEstablished {
+		return fmt.Errorf("onion: path is %v, not established", p.State)
+	}
+	t, err := in.ensureTarget(p, responder)
+	if err != nil {
+		return err
+	}
+	body, err := BuildPayloadOnion(in.suite, in.rng, p.keys, responder, t.key, t.sealed, plain)
+	if err != nil {
+		return err
+	}
+	msg := DataMsg{SID: p.SID, Body: body, Flow: flow}
+	send(in.net, in.id, p.Relays[0], msg, msg.WireSize(), flow)
+	return nil
+}
+
+// handleConstructAck completes a pending construction.
+func (in *Initiator) handleConstructAck(_ netsim.NodeID, msg ConstructAck) {
+	p, ok := in.paths[msg.SID]
+	if !ok || p.State != PathConstructing {
+		return
+	}
+	p.State = PathEstablished
+	p.EstablishedAt = in.eng.Now()
+	p.timer.Cancel()
+	in.finish(p, true)
+}
+
+// handleReverse peels all relay layers plus the responder layer and
+// hands the plaintext to the application callback.
+func (in *Initiator) handleReverse(_ netsim.NodeID, msg ReverseMsg) {
+	p, ok := in.paths[msg.SID]
+	if !ok {
+		return
+	}
+	body := msg.Body
+	for _, k := range p.keys {
+		pt, err := in.suite.SymOpen(k, body)
+		if err != nil {
+			return // corrupted or replayed
+		}
+		body = pt
+	}
+	// Identify the sending responder by which target key decrypts.
+	for dest, t := range p.targets {
+		if pt, err := in.suite.SymOpen(t.key, body); err == nil {
+			if in.onReverse != nil {
+				in.onReverse(p, dest, pt, msg.Flow)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package onion
+
+import (
+	"math/rand"
+
+	"resilientmix/internal/metrics"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/sim"
+)
+
+// DataFunc receives an application payload at the responder together
+// with a handle for replying along the reverse path.
+type DataFunc func(h ReplyHandle, plain []byte)
+
+// Responder is the destination-side endpoint D: it unseals the per-path
+// symmetric key with its private key, decrypts application payloads,
+// and can send replies back along the delivering path (§4.2).
+type Responder struct {
+	id     netsim.NodeID
+	net    *netsim.Network
+	eng    *sim.Engine
+	rng    *rand.Rand
+	suite  onioncrypt.Suite
+	priv   onioncrypt.PrivateKey
+	onData DataFunc
+	ttl    sim.Time
+
+	streams map[StreamID]*respStream // keyed by the terminal relay's downstream sid
+	dropped uint64
+}
+
+type respStream struct {
+	relay   netsim.NodeID
+	key     []byte
+	expires sim.Time
+}
+
+// NewResponder creates the responder endpoint for a node. The onData
+// callback runs for every decrypted payload.
+func NewResponder(net *netsim.Network, id netsim.NodeID, suite onioncrypt.Suite, priv onioncrypt.PrivateKey, ttl sim.Time, onData DataFunc) *Responder {
+	if ttl <= 0 {
+		ttl = DefaultStateTTL
+	}
+	r := &Responder{
+		id:      id,
+		net:     net,
+		eng:     net.Engine(),
+		rng:     net.Engine().RNG(),
+		suite:   suite,
+		priv:    priv,
+		onData:  onData,
+		ttl:     ttl,
+		streams: make(map[StreamID]*respStream),
+	}
+	net.AddStateListener(func(nid netsim.NodeID, up bool) {
+		if nid == id && !up {
+			r.streams = make(map[StreamID]*respStream)
+		}
+	})
+	r.eng.Every(ttl, ttl, r.sweep)
+	return r
+}
+
+// Dropped returns the number of undecryptable deliveries.
+func (r *Responder) Dropped() uint64 { return r.dropped }
+
+func (r *Responder) sweep() {
+	now := r.eng.Now()
+	for sid, st := range r.streams {
+		if st.expires <= now {
+			delete(r.streams, sid)
+		}
+	}
+}
+
+// handleDeliver processes a delivery from a terminal relay.
+func (r *Responder) handleDeliver(from netsim.NodeID, msg DeliverMsg) {
+	sealedKey, ct, err := ParseResponderBlob(msg.Body)
+	if err != nil {
+		r.dropped++
+		return
+	}
+	key, err := r.suite.Open(r.priv, sealedKey)
+	if err != nil || len(key) != onioncrypt.SymKeySize {
+		r.dropped++
+		return
+	}
+	plain, err := r.suite.SymOpen(key, ct)
+	if err != nil {
+		r.dropped++
+		return
+	}
+	r.streams[msg.SID] = &respStream{relay: from, key: key, expires: r.eng.Now() + r.ttl}
+	if r.onData != nil {
+		h := ReplyHandle{resp: r, relay: from, sid: msg.SID, key: key, Flow: msg.Flow}
+		r.onData(h, plain)
+	}
+}
+
+// ReplyHandle lets the responder application answer along the reverse
+// path that delivered a payload.
+type ReplyHandle struct {
+	resp  *Responder
+	relay netsim.NodeID
+	sid   StreamID
+	key   []byte
+	// Flow is the bandwidth account of the delivering message; replies
+	// sent through the handle default to charging it.
+	Flow *metrics.Flow
+}
+
+// From returns the terminal relay the payload arrived through.
+func (h ReplyHandle) From() netsim.NodeID { return h.relay }
+
+// StreamID returns the delivering stream's identifier.
+func (h ReplyHandle) StreamID() StreamID { return h.sid }
+
+// Reply encrypts plain with the stream's symmetric key and sends it
+// back up the path. It reports whether the message entered the network.
+func (h ReplyHandle) Reply(plain []byte, flow *metrics.Flow) bool {
+	r := h.resp
+	ct, err := r.suite.SymSeal(r.rng, h.key, plain)
+	if err != nil {
+		return false
+	}
+	msg := ReverseMsg{SID: h.sid, Body: ct, Flow: flow}
+	return send(r.net, r.id, h.relay, msg, msg.WireSize(), flow)
+}

@@ -1,0 +1,121 @@
+// Package onion implements the paper's anonymous routing machinery on
+// top of the simulated network: layered path-construction onions (§4.1),
+// symmetric payload onions with the responder key sealed to the
+// responder's public key (§4.2), relay path-state caches with TTL
+// expiry (§4.3), last-hop destination override for path reuse (§4.4),
+// construction acknowledgments and reverse-path (response) routing.
+//
+// The protocols of internal/core (CurMix, SimRep, SimEra) are thin
+// orchestrations over this package: they decide which paths exist and
+// what segments travel on them; this package makes individual paths
+// work.
+package onion
+
+import (
+	"resilientmix/internal/metrics"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/sim"
+)
+
+// StreamID identifies one hop-to-hop stream. Each relay maps the
+// upstream stream ID to a freshly drawn downstream one, so observers
+// cannot correlate a path's links by identifier.
+type StreamID uint64
+
+// msgHeaderSize is the serialized size of the fixed message header:
+// 1 byte kind + 8 bytes stream ID.
+const msgHeaderSize = 1 + 8
+
+// ConstructMsg carries a path-construction onion toward the next relay
+// (§4.1: [Path_i, sid_{i-1}]).
+type ConstructMsg struct {
+	SID   StreamID
+	Onion []byte
+	Flow  *metrics.Flow
+}
+
+// WireSize returns the on-the-wire size.
+func (m ConstructMsg) WireSize() int { return msgHeaderSize + 4 + len(m.Onion) }
+
+// ConstructDataMsg combines path construction with a payload in a single
+// pass (§4.2: "We can perform path construction and message sending in
+// the same time... This allows the initiator to form paths on-demand
+// ... without message delays"). Each relay installs state from its onion
+// layer AND strips one payload layer, forwarding both inward.
+type ConstructDataMsg struct {
+	SID   StreamID
+	Onion []byte
+	Body  []byte
+	Flow  *metrics.Flow
+}
+
+// WireSize returns the on-the-wire size.
+func (m ConstructDataMsg) WireSize() int { return msgHeaderSize + 4 + len(m.Onion) + 4 + len(m.Body) }
+
+// ConstructAck travels hop-by-hop back to the initiator once the last
+// relay has installed its path state, implementing the end-to-end
+// acknowledgment of §4.5 for construction.
+type ConstructAck struct {
+	SID  StreamID
+	Flow *metrics.Flow
+}
+
+// WireSize returns the on-the-wire size.
+func (m ConstructAck) WireSize() int { return msgHeaderSize }
+
+// DataMsg carries one payload onion layer downstream between relays
+// (§4.2: [sid_i, PayLoad_{i+1}]).
+type DataMsg struct {
+	SID  StreamID
+	Body []byte
+	Flow *metrics.Flow
+}
+
+// WireSize returns the on-the-wire size.
+func (m DataMsg) WireSize() int { return msgHeaderSize + 4 + len(m.Body) }
+
+// DeliverMsg is the final hop: the terminal relay hands the responder
+// blob to the responder D.
+type DeliverMsg struct {
+	SID  StreamID
+	Body []byte
+	Flow *metrics.Flow
+}
+
+// WireSize returns the on-the-wire size.
+func (m DeliverMsg) WireSize() int { return msgHeaderSize + 4 + len(m.Body) }
+
+// ReverseMsg travels from the responder back toward the initiator; each
+// relay adds one symmetric layer with its cached key (§4.2 "On each
+// reverse path, the payload is encrypted by the cached symmetric key at
+// each hop").
+type ReverseMsg struct {
+	SID  StreamID
+	Body []byte
+	Flow *metrics.Flow
+}
+
+// WireSize returns the on-the-wire size.
+func (m ReverseMsg) WireSize() int { return msgHeaderSize + 4 + len(m.Body) }
+
+// send transmits a payload and charges its size to the flow if it was
+// actually placed on the wire.
+func send(net *netsim.Network, from, to netsim.NodeID, payload any, size int, flow *metrics.Flow) bool {
+	if net.Send(from, to, netsim.Message{Payload: payload, Size: size}) {
+		flow.Add(size)
+		return true
+	}
+	return false
+}
+
+// pathState is one relay's cached tuple for a stream:
+// [P_{i-1}, sid_{i-1}, P_{i+1}, sid_i, R_i] plus a TTL (§4.3).
+type pathState struct {
+	prev     netsim.NodeID
+	prevSID  StreamID
+	next     netsim.NodeID
+	nextSID  StreamID
+	key      []byte
+	terminal bool // next hop is the responder
+	expires  sim.Time
+}

@@ -1,0 +1,140 @@
+package onion
+
+import (
+	"bytes"
+	"testing"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/sim"
+)
+
+func TestConstructWithDataDeliversInOnePass(t *testing.T) {
+	for _, suite := range []onioncrypt.Suite{onioncrypt.ECIES{}, onioncrypt.Null{}} {
+		t.Run(suite.Name(), func(t *testing.T) {
+			e := newEnv(t, 8, suite, 61)
+			msg := []byte("payload riding the construction onion")
+			var established bool
+			start := e.eng.Now()
+			p, err := e.nodes[0].Initiator.ConstructWithData([]netsim.NodeID{2, 3, 4}, 7, msg, nil,
+				func(_ *Path, ok bool) { established = ok })
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The payload must arrive after exactly L+1 one-way hops —
+			// no separate construction round trip first.
+			var deliveredAt sim.Time
+			e.eng.Run(start + 250*sim.Millisecond) // 4 hops x 50ms = 200ms
+			if len(e.received) != 1 || !bytes.Equal(e.received[0], msg) {
+				t.Fatalf("received %q within one pass", e.received)
+			}
+			deliveredAt = e.eng.Now()
+			_ = deliveredAt
+			// The construction ack completes slightly later.
+			e.eng.Run(e.eng.Now() + sim.Second)
+			if !established {
+				t.Fatal("combined construction never acked")
+			}
+			if p.State != PathEstablished {
+				t.Fatalf("path state = %v", p.State)
+			}
+			// And the path is fully usable for ordinary traffic after.
+			if err := e.nodes[0].Initiator.SendData(p, []byte("second"), nil); err != nil {
+				t.Fatal(err)
+			}
+			e.eng.Run(e.eng.Now() + sim.Second)
+			if len(e.received) != 2 {
+				t.Fatal("path unusable after combined construction")
+			}
+			// The echo replies from both messages traverse the reverse path.
+			if len(e.replies) != 2 {
+				t.Fatalf("replies = %d, want 2", len(e.replies))
+			}
+		})
+	}
+}
+
+func TestConstructWithDataFasterThanTwoPass(t *testing.T) {
+	// Quantify §4.2's claim ("without message delays"): with 50ms links
+	// and L=3, the combined pass delivers the first message in exactly
+	// 4 hops = 200ms, while construct-then-send needs the construction
+	// pass (4 hops), the ack chain (3 hops) and then the data pass
+	// (4 hops) = 550ms.
+	onePass := func() sim.Time {
+		e := newEnv(t, 8, onioncrypt.Null{}, 62)
+		var at sim.Time = -1
+		e.onDelivered = func(when sim.Time) { at = when }
+		_, err := e.nodes[0].Initiator.ConstructWithData([]netsim.NodeID{2, 3, 4}, 7, []byte("m"), nil, func(*Path, bool) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.eng.Run(10 * sim.Second)
+		return at
+	}
+	twoPass := func() sim.Time {
+		e := newEnv(t, 8, onioncrypt.Null{}, 62)
+		var at sim.Time = -1
+		e.onDelivered = func(when sim.Time) { at = when }
+		var ackAt sim.Time = -1
+		p, err := e.nodes[0].Initiator.Construct([]netsim.NodeID{2, 3, 4}, 7, nil, func(_ *Path, ok bool) {
+			if ok {
+				ackAt = e.eng.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.eng.Run(10 * sim.Second)
+		if ackAt < 0 {
+			t.Fatal("construction failed")
+		}
+		sendAt := e.eng.Now()
+		if err := e.nodes[0].Initiator.SendData(p, []byte("m"), nil); err != nil {
+			t.Fatal(err)
+		}
+		e.eng.Run(e.eng.Now() + 10*sim.Second)
+		// Total time to first delivery had the send been issued the
+		// moment the ack arrived.
+		return ackAt + (at - sendAt)
+	}
+	one, two := onePass(), twoPass()
+	if one != 200*sim.Millisecond {
+		t.Fatalf("one-pass delivery at %v, want exactly 4 hops = 200ms", one)
+	}
+	// Construction: 3 forward hops to the terminal relay + 3 ack hops
+	// back = 300ms, then the data pass adds 4 hops = 200ms.
+	if two != 500*sim.Millisecond {
+		t.Fatalf("two-pass delivery at %v, want 500ms (3+3+4 hops)", two)
+	}
+}
+
+func TestConstructWithDataValidation(t *testing.T) {
+	e := newEnv(t, 8, onioncrypt.Null{}, 63)
+	if _, err := e.nodes[0].Initiator.ConstructWithData(nil, 7, []byte("x"), nil, nil); err == nil {
+		t.Fatal("empty relay list accepted")
+	}
+	if _, err := e.nodes[0].Initiator.ConstructWithData([]netsim.NodeID{0, 2}, 7, []byte("x"), nil, nil); err == nil {
+		t.Fatal("initiator as relay accepted")
+	}
+	if _, err := e.nodes[0].Initiator.ConstructWithData([]netsim.NodeID{7, 2}, 7, []byte("x"), nil, nil); err == nil {
+		t.Fatal("responder as relay accepted")
+	}
+}
+
+func TestConstructWithDataThroughDeadRelayTimesOut(t *testing.T) {
+	e := newEnv(t, 8, onioncrypt.Null{}, 64)
+	e.net.SetUp(3, false)
+	var done, ok bool
+	_, err := e.nodes[0].Initiator.ConstructWithData([]netsim.NodeID{2, 3, 4}, 7, []byte("x"), nil,
+		func(_ *Path, o bool) { done, ok = true, o })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.eng.Run(DefaultConstructTimeout + sim.Second)
+	if !done || ok {
+		t.Fatalf("done=%v ok=%v", done, ok)
+	}
+	if len(e.received) != 0 {
+		t.Fatal("payload delivered through a dead relay")
+	}
+}

@@ -1,0 +1,97 @@
+package onioncrypt
+
+import (
+	"errors"
+	"testing"
+)
+
+// failReader errors after a fixed number of bytes.
+type failReader struct{ left int }
+
+func (f *failReader) Read(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errors.New("entropy exhausted")
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	return n, nil
+}
+
+func TestKeygenFailsWithoutEntropy(t *testing.T) {
+	for _, s := range suites() {
+		if _, err := s.GenerateKeyPair(&failReader{left: 5}); err == nil {
+			t.Errorf("%s: keygen succeeded on a failing reader", s.Name())
+		}
+		if _, err := s.NewSymKey(&failReader{left: 3}); err == nil {
+			t.Errorf("%s: NewSymKey succeeded on a failing reader", s.Name())
+		}
+	}
+}
+
+func TestSealRejectsBadRecipientKey(t *testing.T) {
+	for _, s := range suites() {
+		if _, err := s.Seal(rng(1), make(PublicKey, 7), []byte("x")); err == nil {
+			t.Errorf("%s: seal to a 7-byte key succeeded", s.Name())
+		}
+	}
+}
+
+func TestOpenRejectsBadPrivateKey(t *testing.T) {
+	for _, s := range suites() {
+		r := rng(2)
+		kp, err := s.GenerateKeyPair(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := s.Seal(r, kp.Public, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Open(make(PrivateKey, 5), ct); err == nil {
+			t.Errorf("%s: open with a 5-byte private key succeeded", s.Name())
+		}
+	}
+}
+
+func TestECIESSealFailsWithoutEntropy(t *testing.T) {
+	s := ECIES{}
+	kp, err := s.GenerateKeyPair(rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Seal(&failReader{left: 4}, kp.Public, []byte("x")); err == nil {
+		t.Error("seal succeeded on a failing reader")
+	}
+	key, err := s.NewSymKey(rng(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SymSeal(&failReader{left: 2}, key, []byte("x")); err == nil {
+		t.Error("SymSeal succeeded on a failing reader")
+	}
+}
+
+func TestNullSymOpenTruncation(t *testing.T) {
+	s := Null{}
+	key, _ := s.NewSymKey(rng(4))
+	ct, _ := s.SymSeal(rng(4), key, []byte("hello"))
+	// Truncating the plaintext region must be caught by the embedded
+	// length.
+	if _, err := s.SymOpen(key, ct[:len(ct)-1]); err == nil {
+		t.Error("truncated Null SymSeal ciphertext opened")
+	}
+	if _, err := s.SymOpen(key, ct[:10]); err == nil {
+		t.Error("header-only ciphertext opened")
+	}
+}
+
+func TestECIESSymOpenTooShort(t *testing.T) {
+	s := ECIES{}
+	key, _ := s.NewSymKey(rng(5))
+	if _, err := s.SymOpen(key, make([]byte, 5)); err == nil {
+		t.Error("5-byte GCM ciphertext opened")
+	}
+}

@@ -1,0 +1,112 @@
+package onioncrypt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Null is the simulation suite: no real encryption, but identical
+// on-the-wire overheads to ECIES so bandwidth results carry over, and
+// key checks that make wrong-recipient or wrong-key opens fail loudly.
+//
+// Seal format:   recipientPub(32) || len(4) || pad(12) || plaintext
+// SymSeal format: key[0:24]-check || len(4) || plaintext       (28 bytes)
+//
+// The embedded plaintext length gives truncation detection (though not
+// integrity). A Null "private key" equals its public key.
+type Null struct{}
+
+var _ Suite = Null{}
+
+// Name returns "null".
+func (Null) Name() string { return "null" }
+
+// GenerateKeyPair draws 32 random bytes used as both halves.
+func (Null) GenerateKeyPair(r io.Reader) (KeyPair, error) {
+	k := make([]byte, x25519KeySize)
+	if _, err := io.ReadFull(r, k); err != nil {
+		return KeyPair{}, fmt.Errorf("onioncrypt: null keygen: %w", err)
+	}
+	return KeyPair{Public: PublicKey(k), Private: PrivateKey(k)}, nil
+}
+
+// Seal tags the plaintext with the recipient key and pads to ECIES size.
+func (Null) Seal(_ io.Reader, pub PublicKey, plaintext []byte) ([]byte, error) {
+	if len(pub) != x25519KeySize {
+		return nil, ErrBadKeySize
+	}
+	out := make([]byte, 0, x25519KeySize+gcmTagSize+len(plaintext))
+	out = append(out, pub...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(plaintext)))
+	out = append(out, make([]byte, gcmTagSize-4)...)
+	return append(out, plaintext...), nil
+}
+
+// Open verifies the recipient tag and embedded length, then strips the
+// header.
+func (Null) Open(priv PrivateKey, ciphertext []byte) ([]byte, error) {
+	if len(priv) != x25519KeySize {
+		return nil, ErrBadKeySize
+	}
+	if len(ciphertext) < x25519KeySize+gcmTagSize {
+		return nil, ErrDecrypt
+	}
+	if !bytes.Equal(ciphertext[:x25519KeySize], priv) {
+		return nil, ErrDecrypt
+	}
+	pt := ciphertext[x25519KeySize+gcmTagSize:]
+	if binary.BigEndian.Uint32(ciphertext[x25519KeySize:]) != uint32(len(pt)) {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// SealOverhead matches ECIES (48 bytes).
+func (Null) SealOverhead() int { return x25519KeySize + gcmTagSize }
+
+// NewSymKey draws 32 random bytes.
+func (Null) NewSymKey(r io.Reader) ([]byte, error) {
+	key := make([]byte, SymKeySize)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return nil, fmt.Errorf("onioncrypt: null symmetric key: %w", err)
+	}
+	return key, nil
+}
+
+// SymSeal prefixes a key fingerprint and the plaintext length, matching
+// the ECIES layer size.
+func (Null) SymSeal(_ io.Reader, key, plaintext []byte) ([]byte, error) {
+	if len(key) != SymKeySize {
+		return nil, ErrBadKeySize
+	}
+	const hdr = gcmNonceSize + gcmTagSize
+	out := make([]byte, 0, hdr+len(plaintext))
+	out = append(out, key[:hdr-4]...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(plaintext)))
+	return append(out, plaintext...), nil
+}
+
+// SymOpen verifies the key fingerprint and embedded length, then strips
+// the header.
+func (Null) SymOpen(key, ciphertext []byte) ([]byte, error) {
+	if len(key) != SymKeySize {
+		return nil, ErrBadKeySize
+	}
+	const hdr = gcmNonceSize + gcmTagSize
+	if len(ciphertext) < hdr {
+		return nil, ErrDecrypt
+	}
+	if !bytes.Equal(ciphertext[:hdr-4], key[:hdr-4]) {
+		return nil, ErrDecrypt
+	}
+	pt := ciphertext[hdr:]
+	if binary.BigEndian.Uint32(ciphertext[hdr-4:]) != uint32(len(pt)) {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// SymOverhead matches ECIES (28 bytes).
+func (Null) SymOverhead() int { return gcmNonceSize + gcmTagSize }

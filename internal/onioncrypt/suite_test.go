@@ -1,0 +1,239 @@
+package onioncrypt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func suites() []Suite { return []Suite{ECIES{}, Null{}} }
+
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rng(1)
+			kp, err := s.GenerateKeyPair(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("onions have layers")
+			ct, err := s.Seal(r, kp.Public, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ct) != len(msg)+s.SealOverhead() {
+				t.Fatalf("ciphertext %d bytes, want %d + overhead %d", len(ct), len(msg), s.SealOverhead())
+			}
+			pt, err := s.Open(kp.Private, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pt, msg) {
+				t.Fatalf("round trip failed: %q", pt)
+			}
+		})
+	}
+}
+
+func TestOpenWrongKeyFails(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rng(2)
+			alice, _ := s.GenerateKeyPair(r)
+			mallory, _ := s.GenerateKeyPair(r)
+			ct, err := s.Seal(r, alice.Public, []byte("secret"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Open(mallory.Private, ct); err == nil {
+				t.Fatal("wrong key opened the ciphertext")
+			}
+		})
+	}
+}
+
+func TestOpenTruncatedFails(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rng(3)
+			kp, _ := s.GenerateKeyPair(r)
+			ct, _ := s.Seal(r, kp.Public, []byte("x"))
+			for _, cut := range []int{0, 1, len(ct) / 2, len(ct) - 1} {
+				if _, err := s.Open(kp.Private, ct[:cut]); err == nil {
+					t.Fatalf("truncated ciphertext (%d bytes) opened", cut)
+				}
+			}
+		})
+	}
+}
+
+func TestECIESTamperDetected(t *testing.T) {
+	s := ECIES{}
+	r := rng(4)
+	kp, _ := s.GenerateKeyPair(r)
+	ct, _ := s.Seal(r, kp.Public, []byte("authenticated"))
+	ct[len(ct)-1] ^= 1
+	if _, err := s.Open(kp.Private, ct); err == nil {
+		t.Fatal("tampered ciphertext opened")
+	}
+}
+
+func TestSymRoundTrip(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rng(5)
+			key, err := s.NewSymKey(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := []byte("payload layer")
+			ct, err := s.SymSeal(r, key, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ct) != len(msg)+s.SymOverhead() {
+				t.Fatalf("ciphertext %d bytes, want %d + %d", len(ct), len(msg), s.SymOverhead())
+			}
+			pt, err := s.SymOpen(key, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pt, msg) {
+				t.Fatal("sym round trip failed")
+			}
+		})
+	}
+}
+
+func TestSymWrongKeyFails(t *testing.T) {
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rng(6)
+			k1, _ := s.NewSymKey(r)
+			k2, _ := s.NewSymKey(r)
+			ct, _ := s.SymSeal(r, k1, []byte("layered"))
+			if _, err := s.SymOpen(k2, ct); err == nil {
+				t.Fatal("wrong symmetric key opened the layer")
+			}
+		})
+	}
+}
+
+func TestSymBadKeySize(t *testing.T) {
+	for _, s := range suites() {
+		if _, err := s.SymSeal(rng(7), make([]byte, 7), []byte("x")); err == nil {
+			t.Errorf("%s: short key accepted by SymSeal", s.Name())
+		}
+		if _, err := s.SymOpen(make([]byte, 7), make([]byte, 64)); err == nil {
+			t.Errorf("%s: short key accepted by SymOpen", s.Name())
+		}
+	}
+}
+
+func TestOverheadsMatchAcrossSuites(t *testing.T) {
+	// Bandwidth results measured with Null must transfer to ECIES, so
+	// the structural overheads must be identical.
+	e, n := ECIES{}, Null{}
+	if e.SealOverhead() != n.SealOverhead() {
+		t.Errorf("seal overhead: ecies %d != null %d", e.SealOverhead(), n.SealOverhead())
+	}
+	if e.SymOverhead() != n.SymOverhead() {
+		t.Errorf("sym overhead: ecies %d != null %d", e.SymOverhead(), n.SymOverhead())
+	}
+}
+
+func TestNestedLayersBothSuites(t *testing.T) {
+	// Build a 5-layer symmetric onion and peel it — the payload path of
+	// §4.2 in miniature.
+	for _, s := range suites() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r := rng(8)
+			const layers = 5
+			keys := make([][]byte, layers)
+			for i := range keys {
+				keys[i], _ = s.NewSymKey(r)
+			}
+			msg := []byte("innermost")
+			ct := msg
+			for i := layers - 1; i >= 0; i-- {
+				var err error
+				ct, err = s.SymSeal(r, keys[i], ct)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if want := len(msg) + layers*s.SymOverhead(); len(ct) != want {
+				t.Fatalf("onion size %d, want %d", len(ct), want)
+			}
+			for i := 0; i < layers; i++ {
+				var err error
+				ct, err = s.SymOpen(keys[i], ct)
+				if err != nil {
+					t.Fatalf("peeling layer %d: %v", i, err)
+				}
+			}
+			if !bytes.Equal(ct, msg) {
+				t.Fatal("peeled onion != message")
+			}
+		})
+	}
+}
+
+func TestQuickNullRoundTrip(t *testing.T) {
+	s := Null{}
+	f := func(seed int64, msg []byte) bool {
+		r := rng(seed)
+		kp, err := s.GenerateKeyPair(r)
+		if err != nil {
+			return false
+		}
+		ct, err := s.Seal(r, kp.Public, msg)
+		if err != nil {
+			return false
+		}
+		pt, err := s.Open(kp.Private, ct)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicKeygen(t *testing.T) {
+	for _, s := range suites() {
+		a, _ := s.GenerateKeyPair(rng(99))
+		b, _ := s.GenerateKeyPair(rng(99))
+		if !bytes.Equal(a.Public, b.Public) {
+			t.Errorf("%s: keygen not deterministic for a fixed seed", s.Name())
+		}
+	}
+}
+
+func BenchmarkECIESSeal(b *testing.B) {
+	s := ECIES{}
+	r := rng(1)
+	kp, _ := s.GenerateKeyPair(r)
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Seal(r, kp.Public, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNullSeal(b *testing.B) {
+	s := Null{}
+	r := rng(1)
+	kp, _ := s.GenerateKeyPair(r)
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Seal(r, kp.Public, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

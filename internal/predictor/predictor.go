@@ -1,0 +1,86 @@
+// Package predictor implements the node liveness predictor of §4.9.
+//
+// Given the Pareto lifetime model, the conditional probability that a
+// node is still alive after being silent for Δt_since, having been
+// observed alive for Δt_alive, is
+//
+//	p = (Δt_alive / (Δt_alive + Δt_since))^α            (Equation 1)
+//
+// Since p is monotone in q = Δt_alive / (Δt_alive + Δt_since)
+// (Equation 2), mix choice ranks nodes by q directly and never needs α.
+// When the liveness information is stale, the local clock gap
+// (t_now − t_last) is added to Δt_since (Equation 3).
+package predictor
+
+import (
+	"math"
+
+	"resilientmix/internal/sim"
+)
+
+// Info is a node's liveness record as maintained in a membership cache.
+type Info struct {
+	// AliveFor is Δt_alive: how long the node had been alive when the
+	// information was produced.
+	AliveFor sim.Time
+	// Since is Δt_since: how stale the information already was when it
+	// reached us.
+	Since sim.Time
+	// LastHeard is t_last: our local timestamp when we stored it.
+	LastHeard sim.Time
+	// Down marks a node positively known to have left (OneHop-style
+	// membership disseminates explicit leave events; plain gossip only
+	// lets entries go stale). A down node's predictor is zero.
+	Down bool
+}
+
+// Q computes the liveness predictor of Equation 3:
+//
+//	q = Δt_alive / (Δt_alive + Δt_since + (t_now − t_last))
+//
+// Q returns 0 for a node never observed alive (AliveFor <= 0) or known
+// to be down, and clamps a clock anomaly (now < LastHeard) to zero
+// elapsed time.
+func Q(info Info, now sim.Time) float64 {
+	if info.AliveFor <= 0 || info.Down {
+		return 0
+	}
+	elapsed := now - info.LastHeard
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	since := info.Since
+	if since < 0 {
+		since = 0
+	}
+	denom := info.AliveFor + since + elapsed
+	return float64(info.AliveFor) / float64(denom)
+}
+
+// EffectiveSince returns the Δt_since value to piggyback onto a gossip
+// message at time now: the stored Δt_since plus the local staleness
+// (t_now − t_last). See §4.9 ("Whenever a node needs to piggyback node
+// C's liveness information...").
+func EffectiveSince(info Info, now sim.Time) sim.Time {
+	elapsed := now - info.LastHeard
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	since := info.Since
+	if since < 0 {
+		since = 0
+	}
+	return since + elapsed
+}
+
+// AliveProb converts the predictor q into the probability of Equation 1,
+// p = q^α, for a Pareto lifetime distribution with shape alpha.
+func AliveProb(q, alpha float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return 1
+	}
+	return math.Pow(q, alpha)
+}

@@ -1,0 +1,112 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"resilientmix/internal/sim"
+)
+
+func TestQFreshInformation(t *testing.T) {
+	// A node heard from directly right now: q = alive/(alive+0+0) = 1.
+	info := Info{AliveFor: 100 * sim.Second, Since: 0, LastHeard: 50 * sim.Second}
+	if q := Q(info, 50*sim.Second); q != 1 {
+		t.Fatalf("q = %g, want 1 for fresh info", q)
+	}
+}
+
+func TestQEquation3(t *testing.T) {
+	// alive=1000s, since=200s, heard 300s ago: q = 1000/1500.
+	info := Info{AliveFor: 1000 * sim.Second, Since: 200 * sim.Second, LastHeard: 0}
+	q := Q(info, 300*sim.Second)
+	if math.Abs(q-1000.0/1500.0) > 1e-12 {
+		t.Fatalf("q = %g, want %g", q, 1000.0/1500.0)
+	}
+}
+
+func TestQNeverAlive(t *testing.T) {
+	if Q(Info{AliveFor: 0}, sim.Hour) != 0 {
+		t.Error("q should be 0 for a node never observed alive")
+	}
+	if Q(Info{AliveFor: -sim.Second}, sim.Hour) != 0 {
+		t.Error("q should be 0 for negative AliveFor")
+	}
+}
+
+func TestQClockAnomalies(t *testing.T) {
+	info := Info{AliveFor: sim.Hour, Since: 0, LastHeard: 2 * sim.Hour}
+	if q := Q(info, sim.Hour); q != 1 { // now < LastHeard clamps
+		t.Fatalf("q = %g with clamped negative elapsed, want 1", q)
+	}
+	info = Info{AliveFor: sim.Hour, Since: -sim.Minute, LastHeard: 0}
+	if q := Q(info, 0); q != 1 {
+		t.Fatalf("q = %g with clamped negative since, want 1", q)
+	}
+}
+
+func TestQMonotonicity(t *testing.T) {
+	// q increases with AliveFor, decreases with Since and staleness.
+	f := func(rawAlive, rawSince, rawElapsed uint16) bool {
+		alive := sim.Time(rawAlive) + 1
+		since := sim.Time(rawSince)
+		elapsed := sim.Time(rawElapsed)
+		base := Info{AliveFor: alive, Since: since, LastHeard: 0}
+		now := elapsed
+		q := Q(base, now)
+		older := Q(Info{AliveFor: alive * 2, Since: since, LastHeard: 0}, now)
+		staler := Q(Info{AliveFor: alive, Since: since + 100, LastHeard: 0}, now)
+		later := Q(base, now+100)
+		return older >= q && staler <= q && later <= q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRange(t *testing.T) {
+	f := func(rawAlive, rawSince, rawLast, rawNow uint32) bool {
+		info := Info{
+			AliveFor:  sim.Time(rawAlive),
+			Since:     sim.Time(rawSince),
+			LastHeard: sim.Time(rawLast),
+		}
+		q := Q(info, sim.Time(rawNow))
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveSince(t *testing.T) {
+	info := Info{AliveFor: sim.Hour, Since: 30 * sim.Second, LastHeard: 100 * sim.Second}
+	if got := EffectiveSince(info, 160*sim.Second); got != 90*sim.Second {
+		t.Fatalf("EffectiveSince = %v, want 90s", got)
+	}
+	// Clock anomaly clamps.
+	if got := EffectiveSince(info, 0); got != 30*sim.Second {
+		t.Fatalf("EffectiveSince = %v, want 30s", got)
+	}
+	info.Since = -sim.Second
+	if got := EffectiveSince(info, 100*sim.Second); got != 0 {
+		t.Fatalf("EffectiveSince with negative stored since = %v, want 0", got)
+	}
+}
+
+func TestAliveProb(t *testing.T) {
+	if AliveProb(0, 0.83) != 0 || AliveProb(-1, 0.83) != 0 {
+		t.Error("q<=0 should give p=0")
+	}
+	if AliveProb(1, 0.83) != 1 || AliveProb(2, 0.83) != 1 {
+		t.Error("q>=1 should give p=1")
+	}
+	q := 0.5
+	if got := AliveProb(q, 0.83); math.Abs(got-math.Pow(0.5, 0.83)) > 1e-12 {
+		t.Fatalf("AliveProb = %g", got)
+	}
+	// p is monotone in q (the property that lets mix choice skip alpha).
+	if AliveProb(0.8, 0.83) <= AliveProb(0.4, 0.83) {
+		t.Error("AliveProb not monotone in q")
+	}
+}

@@ -1,0 +1,215 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock with microsecond resolution, a binary-heap event queue
+// with stable FIFO ordering for simultaneous events, and a seeded random
+// number generator. It is the substrate standing in for p2psim in the
+// paper's evaluation (§6.1) — see DESIGN.md, substitution 1.
+//
+// An Engine is single-goroutine by design: all scheduled callbacks run
+// sequentially from Run, so handlers never need locks. Parallelism in
+// the experiment harnesses comes from running many independent Engines,
+// one per goroutine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in microseconds since the start of
+// the simulation.
+type Time int64
+
+// Common durations in virtual-time units.
+const (
+	Microsecond Time = 1
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// FromDuration converts a wall-clock duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Microseconds()) }
+
+// FromSeconds converts seconds (possibly fractional) to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tie-break: FIFO among simultaneous events
+	fn     func()
+	cancel *bool // non-nil for cancelable timers
+	index  int   // heap index
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	ran     uint64 // events executed, for diagnostics
+}
+
+// NewEngine returns an engine whose RNG is seeded with seed. Two engines
+// with the same seed and the same scheduled work produce identical
+// histories.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's random source. All simulation randomness must
+// flow through it to preserve determinism.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the number of events that have run.
+func (e *Engine) Executed() uint64 { return e.ran }
+
+// Schedule runs fn after delay. A negative delay is treated as zero.
+// Events scheduled for the same instant run in scheduling order.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time. Times in the
+// past are clamped to now.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer struct {
+	canceled *bool
+}
+
+// Cancel stops the timer; the callback will not run. Cancel after firing
+// is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.canceled != nil {
+		*t.canceled = true
+	}
+}
+
+// After schedules fn after delay and returns a cancelable Timer.
+func (e *Engine) After(delay Time, fn func()) *Timer {
+	canceled := new(bool)
+	e.Schedule(delay, func() {
+		if !*canceled {
+			fn()
+		}
+	})
+	return &Timer{canceled: canceled}
+}
+
+// Every schedules fn at t = start, start+interval, ... until the
+// returned Timer is canceled or the engine stops.
+func (e *Engine) Every(start, interval Time, fn func()) *Timer {
+	if interval <= 0 {
+		panic("sim: Every requires a positive interval")
+	}
+	canceled := new(bool)
+	var tick func()
+	tick = func() {
+		if *canceled {
+			return
+		}
+		fn()
+		if !*canceled {
+			e.Schedule(interval, tick)
+		}
+	}
+	e.Schedule(start, tick)
+	return &Timer{canceled: canceled}
+}
+
+// Stop halts the run loop after the current event finishes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until the queue empties, the clock
+// passes `until`, or Stop is called. It returns the virtual time at
+// which it stopped. Events scheduled exactly at `until` still run.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.ran++
+		next.fn()
+	}
+	if e.now < until && len(e.queue) == 0 {
+		e.now = until
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (e *Engine) RunAll() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		e.ran++
+		next.fn()
+	}
+	return e.now
+}

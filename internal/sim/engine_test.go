@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*Second, func() { got = append(got, 3) })
+	e.Schedule(1*Second, func() { got = append(got, 1) })
+	e.Schedule(2*Second, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("final time = %v, want 3s", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var ran []Time
+	for i := 1; i <= 5; i++ {
+		at := Time(i) * Second
+		e.ScheduleAt(at, func() { ran = append(ran, at) })
+	}
+	e.Run(3 * Second)
+	if len(ran) != 3 {
+		t.Fatalf("Run(3s) executed %d events, want 3 (boundary inclusive)", len(ran))
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run(10 * Second)
+	if len(ran) != 5 {
+		t.Fatalf("second Run executed %d total, want 5", len(ran))
+	}
+	if e.Now() != 10*Second {
+		t.Fatalf("Now() after draining = %v, want until=10s", e.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var depth int
+	var fire func()
+	fire = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(Millisecond, fire)
+		}
+	}
+	e.Schedule(0, fire)
+	e.RunAll()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*Millisecond {
+		t.Fatalf("Now() = %v, want 99ms", e.Now())
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := NewEngine(1)
+	var when Time
+	e.Schedule(Second, func() {
+		e.ScheduleAt(0, func() { when = e.Now() }) // in the past
+	})
+	e.RunAll()
+	if when != Second {
+		t.Fatalf("past-scheduled event ran at %v, want clamped to 1s", when)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-5*Second, func() { ran = true })
+	e.RunAll()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative delay: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	var count int
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i)*Second, func() {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4 after Stop", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending() = %d, want 6", e.Pending())
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(Second, func() { fired = true })
+	e.Schedule(500*Millisecond, func() { tm.Cancel() })
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	// Cancel after the queue drained must be a no-op.
+	tm.Cancel()
+	var nilTimer *Timer
+	nilTimer.Cancel() // must not panic
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	var tm *Timer
+	tm = e.Every(Second, 2*Second, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			tm.Cancel()
+		}
+	})
+	e.Run(100 * Second)
+	want := []Time{Second, 3 * Second, 5 * Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryInvalidInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewEngine(1).Every(0, 0, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() []int64 {
+		e := NewEngine(42)
+		var out []int64
+		e.Every(0, 10*Millisecond, func() {
+			out = append(out, int64(e.RNG().Intn(1000)))
+			if len(out) >= 50 {
+				e.Stop()
+			}
+		})
+		e.RunAll()
+		return out
+	}
+	a, b := trace(), trace()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromDuration(1500*time.Millisecond) != 1500*Millisecond {
+		t.Error("FromDuration broken")
+	}
+	if FromSeconds(2.5) != 2500*Millisecond {
+		t.Error("FromSeconds broken")
+	}
+	if (90 * Second).Seconds() != 90 {
+		t.Error("Seconds broken")
+	}
+	if Hour != 3600*Second || Minute != 60*Second {
+		t.Error("duration constants inconsistent")
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500s" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback did not panic")
+		}
+	}()
+	NewEngine(1).Schedule(0, nil)
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunAll()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed() = %d, want 7", e.Executed())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%1000)*Millisecond, func() {})
+		if i%1024 == 1023 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}

@@ -1,0 +1,168 @@
+// Package stats provides the probability distributions, random sampling
+// and summary statistics used throughout the simulator: the Pareto node
+// lifetime model central to the paper (§4.9, §6.1), plus the exponential
+// and uniform alternatives of Table 4, empirical CDFs for Figure 1, and
+// result summaries for the experiment harnesses.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a one-dimensional probability distribution that can be sampled
+// and evaluated.
+type Dist interface {
+	// Sample draws one value using r.
+	Sample(r *rand.Rand) float64
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+	// Mean returns the distribution mean; +Inf if it does not exist.
+	Mean() float64
+	// Median returns the distribution median.
+	Median() float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// Pareto is the classic (type I) Pareto distribution with shape Alpha
+// and scale Beta: P(X > x) = (Beta/x)^Alpha for x >= Beta. The paper
+// models node lifetimes with Alpha = 0.83, Beta = 1560 s (Gnutella fit,
+// Fig. 1) and drives churn with Alpha = 1, Beta = 1800 s (median 1 h,
+// §6.1).
+type Pareto struct {
+	Alpha float64 // shape
+	Beta  float64 // scale (minimum value)
+}
+
+// NewPareto constructs a Pareto distribution, validating parameters.
+func NewPareto(alpha, beta float64) (Pareto, error) {
+	if alpha <= 0 || beta <= 0 {
+		return Pareto{}, fmt.Errorf("stats: Pareto requires positive parameters, got alpha=%g beta=%g", alpha, beta)
+	}
+	return Pareto{Alpha: alpha, Beta: beta}, nil
+}
+
+// ParetoWithMedian returns the Pareto distribution with the given shape
+// whose median equals median: beta = median / 2^(1/alpha).
+func ParetoWithMedian(alpha, median float64) (Pareto, error) {
+	if median <= 0 {
+		return Pareto{}, fmt.Errorf("stats: median must be positive, got %g", median)
+	}
+	return NewPareto(alpha, median/math.Pow(2, 1/alpha))
+}
+
+// Sample draws via inverse transform: X = Beta / U^(1/Alpha).
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := 1 - r.Float64() // in (0, 1]
+	return p.Beta / math.Pow(u, 1/p.Alpha)
+}
+
+// CDF returns 1 - (Beta/x)^Alpha for x >= Beta, else 0. This is the
+// "probability of a node dying before time t" from §4.9.
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Beta {
+		return 0
+	}
+	return 1 - math.Pow(p.Beta/x, p.Alpha)
+}
+
+// Mean is Alpha*Beta/(Alpha-1) for Alpha > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Beta / (p.Alpha - 1)
+}
+
+// Median is Beta * 2^(1/Alpha).
+func (p Pareto) Median() float64 { return p.Beta * math.Pow(2, 1/p.Alpha) }
+
+// SurvivalConditional returns P(lifetime > alive+since | lifetime > alive)
+// = (alive / (alive+since))^Alpha — Equation 1 of the paper.
+func (p Pareto) SurvivalConditional(alive, since float64) float64 {
+	if alive <= 0 {
+		return 0
+	}
+	if since < 0 {
+		since = 0
+	}
+	return math.Pow(alive/(alive+since), p.Alpha)
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("Pareto(alpha=%g, beta=%gs)", p.Alpha, p.Beta)
+}
+
+// Exponential is the exponential distribution with the given Mean.
+// Table 4 uses mean 1 h: memoryless, so a node's age carries no
+// information about its remaining lifetime.
+type Exponential struct {
+	MeanVal float64
+}
+
+// NewExponential constructs an exponential distribution with mean mean.
+func NewExponential(mean float64) (Exponential, error) {
+	if mean <= 0 {
+		return Exponential{}, fmt.Errorf("stats: Exponential requires positive mean, got %g", mean)
+	}
+	return Exponential{MeanVal: mean}, nil
+}
+
+// Sample draws from the distribution.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * e.MeanVal }
+
+// CDF returns 1 - exp(-x/mean).
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/e.MeanVal)
+}
+
+// Mean returns the mean.
+func (e Exponential) Mean() float64 { return e.MeanVal }
+
+// Median returns mean * ln 2.
+func (e Exponential) Median() float64 { return e.MeanVal * math.Ln2 }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exponential(mean=%gs)", e.MeanVal) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi]. Table 4
+// uses lifetimes "uniformly at random between 6 minutes and nearly two
+// hours, with an average of 1 hour": [360 s, 6840 s].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform constructs a uniform distribution on [lo, hi].
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if hi <= lo {
+		return Uniform{}, fmt.Errorf("stats: Uniform requires lo < hi, got [%g, %g]", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Sample draws from the distribution.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// CDF returns the linear CDF on [Lo, Hi].
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x < u.Lo:
+		return 0
+	case x > u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Median returns (Lo+Hi)/2.
+func (u Uniform) Median() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%gs, %gs]", u.Lo, u.Hi) }

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParetoValidation(t *testing.T) {
+	if _, err := NewPareto(0, 1); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := NewPareto(1, -1); err == nil {
+		t.Error("beta<0 accepted")
+	}
+	if _, err := NewPareto(0.83, 1560); err != nil {
+		t.Errorf("valid Pareto rejected: %v", err)
+	}
+}
+
+func TestParetoMedian(t *testing.T) {
+	// The paper's churn model: alpha=1, beta=1800s gives median 1 hour.
+	p, err := NewPareto(1, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Median(); math.Abs(got-3600) > 1e-9 {
+		t.Fatalf("median = %g, want 3600", got)
+	}
+	if got := p.CDF(3600); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("CDF(median) = %g, want 0.5", got)
+	}
+}
+
+func TestParetoWithMedian(t *testing.T) {
+	for _, alpha := range []float64{0.5, 0.83, 1, 2} {
+		p, err := ParetoWithMedian(alpha, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Median()-3600) > 1e-6 {
+			t.Fatalf("alpha=%g: median = %g, want 3600", alpha, p.Median())
+		}
+	}
+	if _, err := ParetoWithMedian(1, 0); err == nil {
+		t.Error("zero median accepted")
+	}
+}
+
+func TestParetoSampleRange(t *testing.T) {
+	p, _ := NewPareto(1, 1800)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if x := p.Sample(r); x < p.Beta {
+			t.Fatalf("sample %g below scale %g", x, p.Beta)
+		}
+	}
+}
+
+func TestParetoSampleMatchesCDF(t *testing.T) {
+	p, _ := NewPareto(0.83, 1560)
+	r := rand.New(rand.NewSource(2))
+	n := 200000
+	var below float64
+	q := p.Median()
+	for i := 0; i < n; i++ {
+		if p.Sample(r) <= q {
+			below++
+		}
+	}
+	frac := below / float64(n)
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("fraction below median = %g, want ~0.5", frac)
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	p, _ := NewPareto(1, 1800)
+	if !math.IsInf(p.Mean(), 1) {
+		t.Error("alpha<=1 should have infinite mean")
+	}
+	p2, _ := NewPareto(2, 1800)
+	if got := p2.Mean(); math.Abs(got-3600) > 1e-9 {
+		t.Fatalf("alpha=2 mean = %g, want 3600", got)
+	}
+}
+
+func TestSurvivalConditionalEquation1(t *testing.T) {
+	// Equation 1: p = (alive / (alive + since))^alpha. Check against the
+	// ratio of survival functions.
+	p, _ := NewPareto(0.83, 1560)
+	alive, since := 5000.0, 2000.0
+	want := ((1 - p.CDF(alive+since)) / (1 - p.CDF(alive)))
+	got := p.SurvivalConditional(alive, since)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("conditional survival = %g, want %g", got, want)
+	}
+	if p.SurvivalConditional(alive, 0) != 1 {
+		t.Error("since=0 should give probability 1")
+	}
+	if p.SurvivalConditional(0, 10) != 0 {
+		t.Error("alive=0 should give probability 0")
+	}
+	if p.SurvivalConditional(alive, -5) != 1 {
+		t.Error("negative since should clamp to 0")
+	}
+}
+
+func TestSurvivalMonotonicity(t *testing.T) {
+	// Longer observed lifetime => higher survival probability (the
+	// heavy-tail property biased mix choice exploits).
+	p, _ := NewPareto(0.83, 1560)
+	f := func(rawAlive, rawSince uint16) bool {
+		alive := 1 + float64(rawAlive)
+		since := float64(rawSince)
+		return p.SurvivalConditional(alive*2, since) >= p.SurvivalConditional(alive, since)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	e, err := NewExponential(3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Median()-3600*math.Ln2) > 1e-9 {
+		t.Error("median wrong")
+	}
+	if e.CDF(-1) != 0 {
+		t.Error("CDF(-1) != 0")
+	}
+	if math.Abs(e.CDF(3600)-(1-math.Exp(-1))) > 1e-12 {
+		t.Error("CDF(mean) wrong")
+	}
+	r := rand.New(rand.NewSource(3))
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(r)
+	}
+	if mean := sum / float64(n); math.Abs(mean-3600) > 50 {
+		t.Fatalf("sample mean = %g, want ~3600", mean)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if _, err := NewUniform(5, 5); err == nil {
+		t.Error("empty interval accepted")
+	}
+	// Table 4's uniform lifetime: [6 min, ~114 min] with mean 1 h.
+	u, err := NewUniform(360, 6840)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.Mean()-3600) > 1e-9 {
+		t.Fatalf("mean = %g, want 3600", u.Mean())
+	}
+	if u.CDF(0) != 0 || u.CDF(10000) != 1 {
+		t.Error("CDF tails wrong")
+	}
+	if math.Abs(u.CDF(3600)-0.5) > 1e-12 {
+		t.Error("CDF(mean) != 0.5")
+	}
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		x := u.Sample(r)
+		if x < 360 || x > 6840 {
+			t.Fatalf("sample %g out of range", x)
+		}
+	}
+}
+
+func TestDistStrings(t *testing.T) {
+	p, _ := NewPareto(1, 1800)
+	e, _ := NewExponential(3600)
+	u, _ := NewUniform(360, 6840)
+	for _, d := range []Dist{p, e, u} {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}

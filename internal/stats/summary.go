@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	Count         int
+	Mean          float64
+	Median        float64
+	StdDev        float64
+	Min, Max      float64
+	P10, P90, P99 float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum, sumsq float64
+	for _, x := range s {
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical noise
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   mean,
+		Median: Percentile(s, 50),
+		StdDev: math.Sqrt(variance),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		P10:    Percentile(s, 10),
+		P90:    Percentile(s, 90),
+		P99:    Percentile(s, 99),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f median=%.3f sd=%.3f min=%.3f p90=%.3f max=%.3f",
+		s.Count, s.Mean, s.Median, s.StdDev, s.Min, s.P90, s.Max)
+}
+
+// Percentile returns the p-th percentile (0..100) of an ascending-sorted
+// sample using linear interpolation. It panics on an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanCI95 returns the sample mean and the half-width of its 95%
+// confidence interval under the normal approximation
+// (1.96 · s/√n, with the unbiased sample standard deviation). For n < 2
+// the half-width is 0 — there is no spread to estimate.
+func MeanCI95(xs []float64) (mean, halfWidth float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, 1.96 * sd / math.Sqrt(float64(n))
+}
+
+// EmpiricalCDF is a step-function CDF built from a sample, used to plot
+// Figure 1 and compute goodness of fit.
+type EmpiricalCDF struct {
+	sorted []float64
+}
+
+// NewEmpiricalCDF builds an empirical CDF from the sample (copied).
+func NewEmpiricalCDF(sample []float64) *EmpiricalCDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &EmpiricalCDF{sorted: s}
+}
+
+// At returns the fraction of the sample <= x.
+func (e *EmpiricalCDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *EmpiricalCDF) Len() int { return len(e.sorted) }
+
+// KolmogorovSmirnov returns the K-S statistic sup_x |F_n(x) - F(x)|
+// between the empirical CDF and a reference distribution.
+func (e *EmpiricalCDF) KolmogorovSmirnov(ref Dist) float64 {
+	n := float64(len(e.sorted))
+	var d float64
+	for i, x := range e.sorted {
+		fx := ref.CDF(x)
+		// Compare against the CDF value both just before and at x.
+		if diff := math.Abs(float64(i+1)/n - fx); diff > d {
+			d = diff
+		}
+		if diff := math.Abs(fx - float64(i)/n); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev = %g, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {200, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile of empty sample did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMeanCI95(t *testing.T) {
+	if m, w := MeanCI95(nil); m != 0 || w != 0 {
+		t.Fatal("empty sample CI not zero")
+	}
+	if m, w := MeanCI95([]float64{7}); m != 7 || w != 0 {
+		t.Fatal("single sample must have zero half-width")
+	}
+	// Constant sample: zero spread.
+	if _, w := MeanCI95([]float64{3, 3, 3, 3}); w != 0 {
+		t.Fatalf("constant sample half-width = %g", w)
+	}
+	// Known case: {1, 3} has mean 2, sd = sqrt(2), n=2.
+	m, w := MeanCI95([]float64{1, 3})
+	if m != 2 {
+		t.Fatalf("mean = %g", m)
+	}
+	want := 1.96 * math.Sqrt2 / math.Sqrt(2)
+	if math.Abs(w-want) > 1e-12 {
+		t.Fatalf("half-width = %g, want %g", w, want)
+	}
+	// More samples of the same spread shrink the interval.
+	_, w4 := MeanCI95([]float64{1, 3, 1, 3})
+	if w4 >= w {
+		t.Fatalf("CI did not shrink with n: %g vs %g", w4, w)
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean broken")
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	e := NewEmpiricalCDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", e.Len())
+	}
+	if NewEmpiricalCDF(nil).At(5) != 0 {
+		t.Error("empty CDF should be 0 everywhere")
+	}
+}
+
+func TestKolmogorovSmirnovSelfConsistency(t *testing.T) {
+	// A large sample drawn from the reference distribution must have a
+	// small K-S distance; a sample from a very different one must not.
+	p, _ := NewPareto(0.83, 1560)
+	r := rand.New(rand.NewSource(5))
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = p.Sample(r)
+	}
+	e := NewEmpiricalCDF(sample)
+	if d := e.KolmogorovSmirnov(p); d > 0.02 {
+		t.Fatalf("K-S distance to own distribution = %g, want < 0.02", d)
+	}
+	u, _ := NewUniform(360, 6840)
+	if d := e.KolmogorovSmirnov(u); d < 0.2 {
+		t.Fatalf("K-S distance to mismatched distribution = %g, want > 0.2", d)
+	}
+}

@@ -1,0 +1,77 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"resilientmix/internal/sim"
+)
+
+// Matrix file format: a plain-text square matrix of round-trip times.
+// The first line holds the node count N; each of the next N lines holds
+// N whitespace-separated RTTs in microseconds. Operators who hold real
+// King measurements (the dataset the paper used is not redistributable)
+// can export them to this format and load them in place of the
+// synthetic matrix.
+
+// Save writes the matrix in the text format above.
+func (m *Matrix) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, m.n); err != nil {
+		return err
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d", int64(m.RTT(i, j))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a matrix in the text format above, validating shape,
+// symmetry, a zero diagonal and non-negative entries.
+func Load(r io.Reader) (*Matrix, error) {
+	br := bufio.NewReader(r)
+	var n int
+	if _, err := fmt.Fscan(br, &n); err != nil {
+		return nil, fmt.Errorf("topology: reading node count: %w", err)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("topology: matrix needs at least 2 nodes, got %d", n)
+	}
+	m := &Matrix{n: n, rtt: make([]sim.Time, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v int64
+			if _, err := fmt.Fscan(br, &v); err != nil {
+				return nil, fmt.Errorf("topology: reading entry (%d,%d): %w", i, j, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("topology: negative RTT %d at (%d,%d)", v, i, j)
+			}
+			m.rtt[i*n+j] = sim.Time(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if m.RTT(i, i) != 0 {
+			return nil, fmt.Errorf("topology: non-zero diagonal at %d", i)
+		}
+		for j := i + 1; j < n; j++ {
+			if m.RTT(i, j) != m.RTT(j, i) {
+				return nil, fmt.Errorf("topology: asymmetric RTT at (%d,%d)", i, j)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"resilientmix/internal/sim"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig, err := Generate(16, DefaultMeanRTT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != orig.N() {
+		t.Fatalf("N = %d, want %d", loaded.N(), orig.N())
+	}
+	for i := 0; i < orig.N(); i++ {
+		for j := 0; j < orig.N(); j++ {
+			if loaded.RTT(i, j) != orig.RTT(i, j) {
+				t.Fatalf("RTT(%d,%d) changed across save/load", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"tiny":         "1\n0\n",
+		"truncated":    "3\n0 1 2\n1 0 3\n",
+		"nonsense":     "x\n",
+		"negative":     "2\n0 -5\n-5 0\n",
+		"asymmetric":   "2\n0 5\n6 0\n",
+		"bad diagonal": "2\n7 5\n5 0\n",
+	}
+	for name, input := range cases {
+		if _, err := Load(strings.NewReader(input)); err == nil {
+			t.Errorf("%s matrix accepted", name)
+		}
+	}
+}
+
+func TestLoadValid(t *testing.T) {
+	m, err := Load(strings.NewReader("2\n0 5000\n5000 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RTT(0, 1) != 5000*sim.Microsecond {
+		t.Fatalf("RTT = %v", m.RTT(0, 1))
+	}
+	if m.OneWay(0, 1) != 2500*sim.Microsecond {
+		t.Fatalf("OneWay = %v", m.OneWay(0, 1))
+	}
+}

@@ -1,0 +1,123 @@
+// Package topology synthesizes the pairwise latency matrix of the
+// simulated network. The paper derives inter-node latencies from King
+// measurements of 1024 DNS servers with an average RTT of 152 ms (§6.1);
+// that dataset is not redistributable, so we generate a matrix with the
+// same statistical character: a random 2-D geographic embedding plus
+// lognormal per-pair jitter, rescaled so the mean RTT matches exactly.
+// See DESIGN.md, substitution 2.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resilientmix/internal/sim"
+)
+
+// DefaultMeanRTT is the average round-trip time reported for the paper's
+// simulated network.
+const DefaultMeanRTT = 152 * sim.Millisecond
+
+// MinRTT is a floor applied to every pair so no two distinct nodes are
+// unrealistically close.
+const MinRTT = 2 * sim.Millisecond
+
+// Matrix holds symmetric pairwise RTTs for n nodes. The zero diagonal
+// means a node reaches itself instantly.
+type Matrix struct {
+	n   int
+	rtt []sim.Time // row-major n*n, microseconds
+}
+
+// Generate builds an n-node latency matrix using the given seed, scaled
+// to the requested mean RTT.
+func Generate(n int, meanRTT sim.Time, seed int64) (*Matrix, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	if meanRTT <= 0 {
+		return nil, fmt.Errorf("topology: mean RTT must be positive, got %v", meanRTT)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Random 2-D embedding: captures the triangle-inequality-ish
+	// geographic structure of real latencies.
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+
+	m := &Matrix{n: n, rtt: make([]sim.Time, n*n)}
+	// First pass: raw RTT = distance * lognormal jitter.
+	raw := make([]float64, n*n)
+	var sum float64
+	var pairs int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+			dist := math.Sqrt(dx*dx + dy*dy)
+			jitter := math.Exp(rng.NormFloat64() * 0.35)
+			v := dist * jitter
+			raw[i*n+j] = v
+			sum += v
+			pairs++
+		}
+	}
+	scale := float64(meanRTT) / (sum / float64(pairs))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := sim.Time(raw[i*n+j] * scale)
+			if v < MinRTT {
+				v = MinRTT
+			}
+			m.rtt[i*n+j] = v
+			m.rtt[j*n+i] = v
+		}
+	}
+	return m, nil
+}
+
+// Uniform returns a matrix where every distinct pair has the same RTT —
+// useful for analytically predictable tests.
+func Uniform(n int, rtt sim.Time) (*Matrix, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	if rtt <= 0 {
+		return nil, fmt.Errorf("topology: RTT must be positive, got %v", rtt)
+	}
+	m := &Matrix{n: n, rtt: make([]sim.Time, n*n)}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.rtt[i*n+j] = rtt
+			}
+		}
+	}
+	return m, nil
+}
+
+// N returns the number of nodes.
+func (m *Matrix) N() int { return m.n }
+
+// RTT returns the round-trip time between nodes i and j.
+func (m *Matrix) RTT(i, j int) sim.Time { return m.rtt[i*m.n+j] }
+
+// OneWay returns the one-way latency between i and j (half the RTT).
+func (m *Matrix) OneWay(i, j int) sim.Time { return m.rtt[i*m.n+j] / 2 }
+
+// MeanRTT returns the mean over all distinct pairs.
+func (m *Matrix) MeanRTT() sim.Time {
+	var sum int64
+	var pairs int64
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			sum += int64(m.rtt[i*m.n+j])
+			pairs++
+		}
+	}
+	return sim.Time(sum / pairs)
+}

@@ -1,0 +1,118 @@
+package topology
+
+import (
+	"testing"
+
+	"resilientmix/internal/sim"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(1, DefaultMeanRTT, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Generate(10, 0, 1); err == nil {
+		t.Error("zero mean RTT accepted")
+	}
+}
+
+func TestGenerateMeanRTT(t *testing.T) {
+	m, err := Generate(256, DefaultMeanRTT, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := m.MeanRTT()
+	// The MinRTT floor can push the mean slightly above target.
+	lo, hi := DefaultMeanRTT*95/100, DefaultMeanRTT*105/100
+	if mean < lo || mean > hi {
+		t.Fatalf("mean RTT = %v, want within 5%% of %v", mean, DefaultMeanRTT)
+	}
+}
+
+func TestGenerateSymmetricZeroDiagonal(t *testing.T) {
+	m, err := Generate(64, DefaultMeanRTT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		if m.RTT(i, i) != 0 {
+			t.Fatalf("RTT(%d,%d) = %v, want 0", i, i, m.RTT(i, i))
+		}
+		for j := i + 1; j < m.N(); j++ {
+			if m.RTT(i, j) != m.RTT(j, i) {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+			if m.RTT(i, j) < MinRTT {
+				t.Fatalf("RTT(%d,%d) = %v below floor", i, j, m.RTT(i, j))
+			}
+			if m.OneWay(i, j) != m.RTT(i, j)/2 {
+				t.Fatalf("OneWay != RTT/2 at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(32, DefaultMeanRTT, 99)
+	b, _ := Generate(32, DefaultMeanRTT, 99)
+	c, _ := Generate(32, DefaultMeanRTT, 100)
+	same, diff := true, false
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				same = false
+			}
+			if a.RTT(i, j) != c.RTT(i, j) {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different matrices")
+	}
+	if !diff {
+		t.Error("different seeds produced identical matrices")
+	}
+}
+
+func TestUniformMatrix(t *testing.T) {
+	m, err := Uniform(8, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			want := 100 * sim.Millisecond
+			if i == j {
+				want = 0
+			}
+			if m.RTT(i, j) != want {
+				t.Fatalf("RTT(%d,%d) = %v, want %v", i, j, m.RTT(i, j), want)
+			}
+		}
+	}
+	if m.MeanRTT() != 100*sim.Millisecond {
+		t.Fatalf("MeanRTT = %v", m.MeanRTT())
+	}
+	if _, err := Uniform(1, sim.Second); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Uniform(4, 0); err == nil {
+		t.Error("rtt=0 accepted")
+	}
+}
+
+func TestPaperScaleMatrix(t *testing.T) {
+	// The full 1024-node matrix of the paper's setup must generate
+	// quickly and hit the documented mean.
+	m, err := Generate(1024, DefaultMeanRTT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 1024 {
+		t.Fatalf("N = %d", m.N())
+	}
+	mean := m.MeanRTT()
+	if mean < 140*sim.Millisecond || mean > 165*sim.Millisecond {
+		t.Fatalf("1024-node mean RTT = %v, want ≈152ms", mean)
+	}
+}

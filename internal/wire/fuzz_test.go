@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes through every Reader accessor in a
+// fixed order: no input may panic, and sticky errors must hold.
+func FuzzReader(f *testing.F) {
+	w := NewWriter()
+	w.Byte(7)
+	w.Bool(true)
+	w.Uint32(42)
+	w.Uint64(1 << 50)
+	w.Bytes32([]byte("seed"))
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		r.Byte()
+		r.Bool()
+		r.Uint32()
+		b := r.Bytes32()
+		r.Uint64()
+		r.Int32()
+		if r.Err() != nil {
+			// After an error every read must be a zero value.
+			if r.Byte() != 0 || r.Uint32() != 0 || r.Uint64() != 0 {
+				t.Fatal("non-zero read after sticky error")
+			}
+			if r.Bytes32() != nil {
+				t.Fatal("non-nil bytes after sticky error")
+			}
+		}
+		// Bytes32 result, when non-nil, must alias within the input.
+		if b != nil && len(b) > len(data) {
+			t.Fatal("Bytes32 returned more data than the input holds")
+		}
+	})
+}
+
+// FuzzRoundTrip checks Writer->Reader identity for arbitrary payloads.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint64(2), []byte("x"), true)
+	f.Fuzz(func(t *testing.T, a uint32, b uint64, blob []byte, flag bool) {
+		w := NewWriter()
+		w.Uint32(a)
+		w.Bytes32(blob)
+		w.Uint64(b)
+		w.Bool(flag)
+		r := NewReader(w.Bytes())
+		if got := r.Uint32(); got != a {
+			t.Fatalf("a: %d != %d", got, a)
+		}
+		if got := r.Bytes32(); !bytes.Equal(got, blob) {
+			t.Fatalf("blob mismatch")
+		}
+		if got := r.Uint64(); got != b {
+			t.Fatalf("b: %d != %d", got, b)
+		}
+		if got := r.Bool(); got != flag {
+			t.Fatalf("flag mismatch")
+		}
+		if err := r.Done(); err != nil {
+			t.Fatalf("Done: %v", err)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Byte(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint32(0xdeadbeef)
+	w.Uint64(1 << 40)
+	w.Int32(-17)
+	w.Bytes32([]byte("hello"))
+	w.Bytes32(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.Byte(); got != 0xab {
+		t.Errorf("Byte = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != 1<<40 {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Int32(); got != -17 {
+		t.Errorf("Int32 = %d", got)
+	}
+	if got := r.Bytes32(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := r.Bytes32(); len(got) != 0 {
+		t.Errorf("empty Bytes32 = %q", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done() = %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(42)
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		if got := r.Uint64(); got != 0 {
+			t.Errorf("cut=%d: truncated read returned %d", cut, got)
+		}
+		if r.Err() == nil {
+			t.Errorf("cut=%d: no error on truncated read", cut)
+		}
+	}
+}
+
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.Uint32() // fails
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// The single remaining byte must not be readable after the error.
+	if r.Byte() != 0 {
+		t.Fatal("read succeeded after sticky error")
+	}
+	if r.Done() == nil {
+		t.Fatal("Done() should report the sticky error")
+	}
+}
+
+func TestTrailingGarbage(t *testing.T) {
+	w := NewWriter()
+	w.Uint32(1)
+	r := NewReader(append(w.Bytes(), 0xff))
+	r.Uint32()
+	if r.Done() == nil {
+		t.Fatal("Done() accepted trailing bytes")
+	}
+}
+
+func TestBytes32HugeLengthRejected(t *testing.T) {
+	// A corrupt length prefix larger than the buffer must fail cleanly.
+	w := NewWriter()
+	w.Uint32(1 << 30)
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); got != nil {
+		t.Fatal("Bytes32 returned data for an oversized length")
+	}
+	if r.Err() == nil {
+		t.Fatal("no error for oversized length")
+	}
+}
+
+func TestQuickBytesRoundTrip(t *testing.T) {
+	f := func(a []byte, b []byte, v uint32) bool {
+		w := NewWriter()
+		w.Bytes32(a)
+		w.Uint32(v)
+		w.Bytes32(b)
+		r := NewReader(w.Bytes())
+		ga := r.Bytes32()
+		gv := r.Uint32()
+		gb := r.Bytes32()
+		return r.Done() == nil && bytes.Equal(ga, a) && gv == v && bytes.Equal(gb, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	w := NewWriter()
+	if w.Len() != 0 {
+		t.Fatal("new writer not empty")
+	}
+	w.Uint32(7)
+	w.Bytes32([]byte{1, 2, 3})
+	if w.Len() != 4+4+3 {
+		t.Fatalf("Len = %d, want 11", w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if r.Remaining() != 11 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
