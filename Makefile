@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick fuzz cover examples clean
+.PHONY: all build test race bench repro repro-quick fuzz cover examples profile trace clean
 
 all: build test
 
@@ -23,12 +23,26 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Full paper-scale reproduction of every table/figure + extensions,
-# with CSV exports for plotting.
+# with CSV exports for plotting. anonbench also takes -trace/-report/
+# -cpuprofile/-memprofile (see `trace` and `profile` below) to capture
+# observability artifacts alongside the results.
 repro:
-	$(GO) run ./cmd/anonbench -all -seed 1 -o results_full.txt -csv data
+	$(GO) run ./cmd/anonbench -all -seed 1 -o results_full.txt -csv data -report data/report.json
 
 repro-quick:
 	$(GO) run ./cmd/anonbench -all -quick
+
+# Deterministic JSONL event trace + JSON run report of one simulation
+# (same seed => byte-identical trace; see README "Observability").
+trace:
+	$(GO) run ./cmd/anonsim -n 256 -seed 1 -trace trace.jsonl -report report.json
+	@echo "wrote trace.jsonl and report.json"
+
+# CPU + heap profiles of a quick full-suite run; inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/anonbench -all -quick -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "inspect with: go tool pprof cpu.pprof"
 
 # Short fuzz passes over the wire-facing parsers.
 fuzz:
@@ -49,4 +63,5 @@ examples:
 	$(GO) run ./examples/livedemo
 
 clean:
-	rm -rf data results_full.txt test_output.txt bench_output.txt
+	rm -rf data results_full.txt test_output.txt bench_output.txt \
+		trace.jsonl report.json cpu.pprof mem.pprof

@@ -27,9 +27,13 @@ func main() {
 		all    = flag.Bool("all", false, "run every experiment in order")
 		list   = flag.Bool("list", false, "list available experiments")
 		quick  = flag.Bool("quick", false, "reduced scale: smaller network, fewer trials, shorter runs")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		out    = flag.String("o", "", "write results to this file instead of stdout")
-		csvDir = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		out     = flag.String("o", "", "write results to this file instead of stdout")
+		csvDir  = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+		traceP  = flag.String("trace", "", "write a JSONL event trace of every simulated world to this file (interleaved across parallel workers; use anonsim for a deterministic single-world trace)")
+		reportP = flag.String("report", "", "write an aggregate JSON run report to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -54,7 +58,32 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	opts := rm.ExperimentOptions{Seed: *seed, Quick: *quick}
+	cfgMap := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
+
+	stopProf, err := rm.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	wallStart := time.Now()
+
+	var tracer *rm.TraceWriter
+	var traceFile *os.File
+	var tr rm.Tracer
+	if *traceP != "" {
+		traceFile, err = os.Create(*traceP)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = rm.NewTraceWriter(traceFile)
+		tr = tracer
+	}
+	var reg *rm.MetricsRegistry
+	if *reportP != "" {
+		reg = rm.NewMetricsRegistry()
+	}
+
+	opts := rm.ExperimentOptions{Seed: *seed, Quick: *quick, Tracer: tr, Metrics: reg}
 	ids := rm.ExperimentIDs()
 	if !*all {
 		ids = strings.Split(*expID, ",")
@@ -64,6 +93,7 @@ func main() {
 			fatal(err)
 		}
 	}
+	outcome := make(map[string]float64)
 	for _, id := range ids {
 		start := time.Now()
 		id = strings.TrimSpace(id)
@@ -87,7 +117,38 @@ func main() {
 				fatal(err)
 			}
 		}
+		outcome[id+".wall_seconds"] = time.Since(start).Seconds()
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *reportP != "" {
+		rep := &rm.RunReport{
+			Name:        "anonbench",
+			Seed:        *seed,
+			Config:      cfgMap,
+			WallSeconds: time.Since(wallStart).Seconds(),
+			Outcome:     outcome,
+			Drops:       reg.CountersWithPrefix("net.dropped."),
+		}
+		if tracer != nil {
+			rep.TraceEvents = tracer.Events()
+		}
+		snap := reg.Snapshot()
+		rep.Metrics = &snap
+		if err := rep.WriteJSONFile(*reportP); err != nil {
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 }
 

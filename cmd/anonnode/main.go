@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -65,6 +66,7 @@ func main() {
 		relays  = flag.String("relays", "", "client mode: comma-separated relay ids")
 		to      = flag.Int("to", -1, "client mode: responder id")
 		wait    = flag.Duration("wait", 10*time.Second, "client mode: how long to wait for a reply")
+		debug   = flag.String("debug", "", "serve the node's metrics as JSON on this address at /debug/vars (expvar-style)")
 	)
 	flag.Parse()
 
@@ -111,6 +113,19 @@ func main() {
 	}
 	defer node.Close()
 	fmt.Printf("node %d up at %s\n", self, node.Addr())
+
+	if *debug != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", node.DebugHandler())
+		srv := &http.Server{Addr: *debug, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "debug endpoint:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("debug endpoint at http://%s/debug/vars\n", *debug)
+	}
 
 	if *send == "" {
 		// Relay/responder mode: run until interrupted.

@@ -37,8 +37,32 @@ func main() {
 		loss     = flag.Float64("loss", 0, "random per-message link loss probability [0,1]")
 		predict  = flag.Bool("predict", false, "enable proactive path replacement (§4.5 prediction)")
 		repair   = flag.Bool("repair", false, "enable §4.5 self-repair (probes + path reconstruction)")
+		traceP   = flag.String("trace", "", "write a JSONL event trace to this file")
+		reportP  = flag.String("report", "", "write a JSON run report to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	// Echo every flag into the report's config block.
+	cfgMap := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { cfgMap[f.Name] = f.Value.String() })
+
+	stopProf, err := rm.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	wallStart := time.Now()
+
+	var tracer *rm.TraceWriter
+	var traceFile *os.File
+	if *traceP != "" {
+		traceFile, err = os.Create(*traceP)
+		if err != nil {
+			fatal(err)
+		}
+		tracer = rm.NewTraceWriter(traceFile)
+	}
 
 	var protocol rm.Protocol
 	switch strings.ToLower(*protoStr) {
@@ -62,7 +86,6 @@ func main() {
 	}
 	med := rm.Time(median.Microseconds())
 	var lifetime rm.LifetimeDist
-	var err error
 	switch strings.ToLower(*distStr) {
 	case "pareto":
 		lifetime, err = rm.ParetoLifetime(1, med)
@@ -88,6 +111,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown membership mode %q", *member))
 	}
+	var tr rm.Tracer
+	if tracer != nil {
+		tr = tracer
+	}
 	net, err := rm.NewNetwork(rm.NetworkConfig{
 		N:          *n,
 		Seed:       *seed,
@@ -95,9 +122,47 @@ func main() {
 		Pinned:     []rm.NodeID{0, 1},
 		Membership: mode,
 		LossRate:   *loss,
+		Tracer:     tr,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// finishObs flushes the trace, writes the report and finalizes
+	// profiles; it must run on every exit path after this point.
+	finishObs := func(outcome map[string]float64) {
+		if tracer != nil {
+			if err := tracer.Flush(); err != nil {
+				fatal(err)
+			}
+			if err := traceFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *reportP != "" {
+			rep := &rm.RunReport{
+				Name:           "anonsim",
+				Seed:           *seed,
+				Config:         cfgMap,
+				VirtualSeconds: net.Eng.Now().Seconds(),
+				WallSeconds:    time.Since(wallStart).Seconds(),
+				EventsExecuted: net.Eng.Executed(),
+				Outcome:        outcome,
+				Drops:          net.Reg.CountersWithPrefix("net.dropped."),
+			}
+			if tracer != nil {
+				rep.TraceEvents = tracer.Events()
+			}
+			snap := net.Reg.Snapshot()
+			rep.Metrics = &snap
+			rep.FillThroughput()
+			if err := rep.WriteJSONFile(*reportP); err != nil {
+				fatal(err)
+			}
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
 	}
 	if err := net.StartChurn(); err != nil {
 		fatal(err)
@@ -129,6 +194,7 @@ func main() {
 	}
 	if !established {
 		fmt.Printf("establishment FAILED after %d attempts\n", attempts)
+		finishObs(map[string]float64{"established": 0, "attempts": float64(attempts)})
 		os.Exit(1)
 	}
 	fmt.Printf("established %s k=%d r=%d (%s choice) after %d attempt(s), %d live paths\n",
@@ -195,6 +261,24 @@ func main() {
 	}
 	fmt.Printf("  construction     %.1f KB total, %d paths died, %d replaced\n",
 		float64(st.ConstructFlow.Bytes)/1024, st.PathsDied, st.PathsReplaced)
+
+	outcome := map[string]float64{
+		"established":    1,
+		"attempts":       float64(attempts),
+		"durability_s":   durability,
+		"messages_sent":  float64(st.MessagesSent),
+		"delivered":      float64(delivered),
+		"paths_died":     float64(st.PathsDied),
+		"paths_replaced": float64(st.PathsReplaced),
+	}
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		outcome["mean_latency_ms"] = sum / float64(len(latencies))
+	}
+	finishObs(outcome)
 }
 
 func capNote(deadAt rm.Time) string {

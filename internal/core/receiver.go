@@ -6,6 +6,7 @@ import (
 	"resilientmix/internal/erasure"
 	"resilientmix/internal/metrics"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onion"
 	"resilientmix/internal/sim"
 )
@@ -35,9 +36,20 @@ type Receiver struct {
 	ackSegments bool
 	hooks       serviceHooks
 
+	tracer obs.Tracer
+	m      *worldMetrics
+
 	pending   map[uint64]*inbound
 	delivered uint64
 	badSegs   uint64
+}
+
+// bindObs attaches the world's tracer and metrics. Receivers built
+// directly (outside NewWorld) run unobserved; every use of tracer and
+// m is nil-guarded for that case.
+func (r *Receiver) bindObs(t obs.Tracer, m *worldMetrics) {
+	r.tracer = t
+	r.m = m
 }
 
 // serviceHooks is implemented by a Rendezvous attached to this node.
@@ -182,8 +194,20 @@ func (r *Receiver) reconstruct(mid uint64, in *inbound, flow *metrics.Flow) {
 	}
 	in.done = true
 	r.delivered++
+	now := r.eng.Now()
+	if r.m != nil {
+		r.m.recvDelivered.Inc()
+		r.m.reconstructMs.Observe(float64(now-in.firstAt) / float64(sim.Millisecond))
+	}
+	if r.tracer != nil {
+		r.tracer.Emit(obs.Event{
+			Type: obs.SegmentReconstructed, At: int64(now),
+			Node: int(r.id), Peer: -1, ID: mid,
+			Seq: int64(len(in.segs)), Size: len(data),
+		})
+	}
 	if r.onDelivered != nil {
-		r.onDelivered(mid, data, r.eng.Now())
+		r.onDelivered(mid, data, now)
 	}
 }
 

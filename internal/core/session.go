@@ -8,6 +8,7 @@ import (
 	"resilientmix/internal/metrics"
 	"resilientmix/internal/mixchoice"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onion"
 	"resilientmix/internal/sim"
 )
@@ -160,6 +161,7 @@ func (s *Session) Establish() {
 
 func (s *Session) attempt() {
 	s.stats.EstablishAttempts++
+	s.w.m.establishAttempts.Inc()
 	cands := s.provider.Candidates(s.self)
 	paths, err := mixchoice.SelectPaths(
 		s.w.Eng.RNG(), s.params.Strategy, cands,
@@ -182,6 +184,14 @@ func (s *Session) attempt() {
 				slot.alive = true
 				slot.lastAck = s.w.Eng.Now()
 				succeeded++
+				s.w.m.pathsBuilt.Inc()
+				if s.w.tracer != nil {
+					s.w.tracer.Emit(obs.Event{
+						Type: obs.PathBuilt, At: int64(s.w.Eng.Now()),
+						Node: int(s.self), Peer: int(s.responder),
+						ID: uint64(p.SID), Seq: int64(slot.index),
+					})
+				}
 			}
 			if done == s.params.K {
 				s.concludeAttempt(slots, succeeded)
@@ -292,7 +302,7 @@ func (s *Session) SendMessageTo(dest netsim.NodeID, data []byte) (uint64, error)
 				}
 				if s.sendOnDemand(slot, msg.encode()) {
 					out.bySlot[slotIdx] = append(out.bySlot[slotIdx], int32(segs[si].Index))
-					s.stats.SegmentsSent++
+					s.noteSegmentSent(dest, mid, msg.Index, len(msg.Data))
 				}
 			}
 			continue
@@ -309,13 +319,28 @@ func (s *Session) SendMessageTo(dest netsim.NodeID, data []byte) (uint64, error)
 				continue
 			}
 			out.bySlot[slotIdx] = append(out.bySlot[slotIdx], int32(segs[si].Index))
-			s.stats.SegmentsSent++
+			s.noteSegmentSent(dest, mid, msg.Index, len(msg.Data))
 		}
 	}
 	s.pending[mid] = out
 	s.stats.MessagesSent++
+	s.w.m.messagesSent.Inc()
 	s.w.Eng.Schedule(s.params.AckTimeout, func() { s.checkAcks(mid) })
 	return mid, nil
+}
+
+// noteSegmentSent records one coded data segment leaving the
+// initiator, in the session stats, the registry, and the trace.
+func (s *Session) noteSegmentSent(dest netsim.NodeID, mid uint64, index int32, size int) {
+	s.stats.SegmentsSent++
+	s.w.m.segmentsSent.Inc()
+	if s.w.tracer != nil {
+		s.w.tracer.Emit(obs.Event{
+			Type: obs.SegmentSent, At: int64(s.w.Eng.Now()),
+			Node: int(s.self), Peer: int(dest), ID: mid,
+			Seq: int64(index), Size: size,
+		})
+	}
 }
 
 // allocate maps segment indices to path slots: the even split of §4.7,
@@ -434,6 +459,18 @@ func (s *Session) markSlotDead(sl *pathSlot) {
 	}
 	sl.alive = false
 	s.stats.PathsDied++
+	s.w.m.pathsDied.Inc()
+	if s.w.tracer != nil {
+		var sid uint64
+		if sl.path != nil {
+			sid = uint64(sl.path.SID)
+		}
+		s.w.tracer.Emit(obs.Event{
+			Type: obs.PathBroken, At: int64(s.w.Eng.Now()),
+			Node: int(s.self), Peer: int(s.responder),
+			ID: sid, Seq: int64(sl.index), Reason: obs.ReasonAckTimeout,
+		})
+	}
 	if s.repair {
 		// Self-healing mode (§4.5 reconstruction): replace the failed
 		// path instead of counting toward set death.
@@ -529,6 +566,7 @@ func (s *Session) handleAck(p *onion.Path, ack segAckMsg) {
 		return
 	}
 	s.stats.SegmentsAcked++
+	s.w.m.segmentsAcked.Inc()
 	for slotIdx, waiting := range out.bySlot {
 		for i, idx := range waiting {
 			if idx == ack.Index {
@@ -571,6 +609,7 @@ func (s *Session) handleRespSeg(rs respSegMsg) {
 	}
 	out.respGot = true
 	s.stats.ResponsesReceived++
+	s.w.m.responsesReceived.Inc()
 	if s.OnResponse != nil {
 		s.OnResponse(rs.MID, data, s.w.Eng.Now())
 	}
@@ -589,6 +628,17 @@ func (s *Session) EnablePrediction(threshold float64, interval sim.Time) {
 		}
 		for _, sl := range s.slots {
 			if sl.alive && s.pathStability(sl) < threshold {
+				if s.w.tracer != nil {
+					var sid uint64
+					if sl.path != nil {
+						sid = uint64(sl.path.SID)
+					}
+					s.w.tracer.Emit(obs.Event{
+						Type: obs.PathBroken, At: int64(s.w.Eng.Now()),
+						Node: int(s.self), Peer: int(s.responder),
+						ID: sid, Seq: int64(sl.index), Reason: obs.ReasonPredicted,
+					})
+				}
 				s.replaceSlot(sl)
 			}
 		}
@@ -625,6 +675,7 @@ func (s *Session) sendOnDemand(sl *pathSlot, plain []byte) bool {
 		sl.alive = true
 		sl.lastAck = s.w.Eng.Now()
 		s.stats.PathsReplaced++
+		s.notePathRepaired(p, sl)
 	})
 	if err != nil {
 		sl.repairing = false
@@ -632,6 +683,19 @@ func (s *Session) sendOnDemand(sl *pathSlot, plain []byte) bool {
 	}
 	s.w.bindPath(p, s)
 	return true
+}
+
+// notePathRepaired records a successful path replacement (§4.5
+// reconstruction) in the registry and the trace.
+func (s *Session) notePathRepaired(p *onion.Path, sl *pathSlot) {
+	s.w.m.pathsReplaced.Inc()
+	if s.w.tracer != nil {
+		s.w.tracer.Emit(obs.Event{
+			Type: obs.PathRepaired, At: int64(s.w.Eng.Now()),
+			Node: int(s.self), Peer: int(s.responder),
+			ID: uint64(p.SID), Seq: int64(sl.index),
+		})
+	}
 }
 
 // freshRelays selects one new relay list avoiding the session's live
@@ -679,6 +743,7 @@ func (s *Session) replaceSlot(sl *pathSlot) {
 		sl.alive = true
 		sl.lastAck = s.w.Eng.Now()
 		s.stats.PathsReplaced++
+		s.notePathRepaired(p, sl)
 	})
 	if err != nil {
 		sl.repairing = false

@@ -7,6 +7,7 @@ import (
 	"resilientmix/internal/membership"
 	"resilientmix/internal/metrics"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onion"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/sim"
@@ -70,6 +71,48 @@ type WorldConfig struct {
 	// ConstructTimeout is the construction-ack timeout; zero selects the
 	// default.
 	ConstructTimeout sim.Time
+	// Tracer, when non-nil, receives every trace event from the engine,
+	// the network, and the protocol layers. Tracing never consumes
+	// engine randomness, so an equal-seed run is bit-identical with or
+	// without it.
+	Tracer obs.Tracer
+	// Metrics is the registry run counters land in; nil creates a
+	// private one (always available via World.Reg).
+	Metrics *obs.Registry
+}
+
+// worldMetrics holds the protocol-layer instruments, resolved once so
+// session and receiver hot paths update them without map lookups.
+type worldMetrics struct {
+	messagesSent      *obs.Counter
+	segmentsSent      *obs.Counter
+	segmentsAcked     *obs.Counter
+	pathsBuilt        *obs.Counter
+	pathsDied         *obs.Counter
+	pathsReplaced     *obs.Counter
+	establishAttempts *obs.Counter
+	responsesReceived *obs.Counter
+	recvDelivered     *obs.Counter
+	reconstructMs     *obs.Histogram
+}
+
+// reconstructBounds buckets receiver reconstruction latency (first
+// segment to reconstruction) in milliseconds.
+var reconstructBounds = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+func newWorldMetrics(reg *obs.Registry) *worldMetrics {
+	return &worldMetrics{
+		messagesSent:      reg.Counter("session.messages_sent"),
+		segmentsSent:      reg.Counter("session.segments_sent"),
+		segmentsAcked:     reg.Counter("session.segments_acked"),
+		pathsBuilt:        reg.Counter("session.paths_built"),
+		pathsDied:         reg.Counter("session.paths_died"),
+		pathsReplaced:     reg.Counter("session.paths_replaced"),
+		establishAttempts: reg.Counter("session.establish_attempts"),
+		responsesReceived: reg.Counter("session.responses_received"),
+		recvDelivered:     reg.Counter("recv.delivered"),
+		reconstructMs:     reg.Histogram("recv.reconstruct_ms", reconstructBounds),
+	}
 }
 
 // World is a fully wired simulated network: engine, topology, churn,
@@ -82,11 +125,17 @@ type World struct {
 	Dir       *onion.Directory
 	Nodes     []*onion.Node
 	Receivers []*Receiver
+	// Reg is the world's metrics registry (cfg.Metrics, or a private
+	// one). Reports snapshot it after a run.
+	Reg *obs.Registry
 
 	oracle *membership.Oracle
 	gossip *membership.Gossip
 	onehop *membership.OneHop
 	churn  *churn.Driver
+
+	tracer obs.Tracer
+	m      *worldMetrics
 
 	sessions map[onion.StreamID]*Session
 }
@@ -118,6 +167,13 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	if cfg.LossRate > 0 {
 		net.SetLossRate(cfg.LossRate)
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	eng.SetTracer(cfg.Tracer)
+	net.SetTracer(cfg.Tracer)
+	net.BindMetrics(reg)
 	dir, err := onion.NewDirectory(cfg.Suite, eng.RNG(), cfg.N)
 	if err != nil {
 		return nil, err
@@ -127,6 +183,9 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		Eng:      eng,
 		Net:      net,
 		Dir:      dir,
+		Reg:      reg,
+		tracer:   cfg.Tracer,
+		m:        newWorldMetrics(reg),
 		sessions: make(map[onion.StreamID]*Session),
 	}
 
@@ -159,6 +218,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		id := netsim.NodeID(i)
 		mux := netsim.NewMux()
 		recv := NewReceiver(id, eng, nil)
+		recv.bindObs(cfg.Tracer, w.m)
 		node := onion.NewNode(net, id, dir, mux, onion.NodeConfig{
 			StateTTL:         cfg.StateTTL,
 			ConstructTimeout: cfg.ConstructTimeout,

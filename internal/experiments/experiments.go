@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"resilientmix/internal/obs"
 )
 
 // Result is a generic experiment result: a caption, column headers, and
@@ -104,6 +106,15 @@ type Options struct {
 	// Quick shrinks network size, trial counts and simulated time by an
 	// order of magnitude — same shapes, minutes less compute.
 	Quick bool
+	// Tracer, when non-nil, receives trace events from every simulated
+	// world the experiment builds. Experiments run parameter points on
+	// parallel workers, so a shared sink sees interleaved (per-world
+	// deterministic, globally unordered) events; use anonsim for a
+	// single-world, fully reproducible trace.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, is the registry every world's counters land
+	// in — aggregated across all parameter points and trials.
+	Metrics *obs.Registry
 }
 
 // Runner is an experiment entry point.

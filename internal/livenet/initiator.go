@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onion"
 )
 
@@ -102,7 +103,20 @@ func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path
 	n.mu.Lock()
 	n.paths[p.SID] = p
 	n.mu.Unlock()
+	n.notePathBuilt(p)
 	return p, nil
+}
+
+// notePathBuilt records a successfully acked path construction.
+func (n *Node) notePathBuilt(p *Path) {
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer.Emit(obs.Event{
+			Type: obs.PathBuilt, At: time.Now().UnixMicro(),
+			Node: int(n.cfg.ID), Peer: int(p.Responder),
+			ID: p.SID, Seq: int64(len(p.Relays)),
+		})
+	}
+	n.reg.Counter("live.paths_built").Inc()
 }
 
 // ConstructWithData builds the path with the first payload riding the
@@ -192,6 +206,7 @@ func (n *Node) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID
 		n.mu.Unlock()
 		return nil, fmt.Errorf("livenet: construction ack timeout after %v", n.cfg.ConstructTimeout)
 	}
+	n.notePathBuilt(p)
 	return p, nil
 }
 

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onion"
 	"resilientmix/internal/onioncrypt"
 )
@@ -38,6 +40,52 @@ type Config struct {
 	ConstructTimeout time.Duration
 	// OnData enables the responder role.
 	OnData DataFunc
+	// Tracer, when non-nil, receives the node's wire events. Live
+	// events carry wall-clock microseconds in At (a live network has no
+	// virtual clock), so live traces are not run-to-run reproducible —
+	// unlike simulator traces.
+	Tracer obs.Tracer
+}
+
+// liveMetrics holds the node's registry instruments, resolved once at
+// startup.
+type liveMetrics struct {
+	framesOut, sendErrors, badFrames *obs.Counter
+	framesIn                         [kindConstructData + 1]*obs.Counter
+	forwardStates, reverseStates     *obs.Gauge
+}
+
+// kindName names a frame kind for metrics and docs.
+func kindName(k byte) string {
+	switch k {
+	case kindConstruct:
+		return "construct"
+	case kindAck:
+		return "ack"
+	case kindData:
+		return "data"
+	case kindDeliver:
+		return "deliver"
+	case kindReverse:
+		return "reverse"
+	case kindConstructData:
+		return "construct_data"
+	}
+	return "unknown"
+}
+
+func newLiveMetrics(reg *obs.Registry) *liveMetrics {
+	m := &liveMetrics{
+		framesOut:     reg.Counter("live.frames_out"),
+		sendErrors:    reg.Counter("live.send_errors"),
+		badFrames:     reg.Counter("live.bad_frames"),
+		forwardStates: reg.Gauge("live.forward_states"),
+		reverseStates: reg.Gauge("live.reverse_states"),
+	}
+	for k := kindConstruct; k <= kindConstructData; k++ {
+		m.framesIn[k] = reg.Counter("live.frames_in." + kindName(k))
+	}
+	return m
 }
 
 // Node is a live peer: relay always, initiator and responder on demand.
@@ -52,6 +100,8 @@ type Config struct {
 type Node struct {
 	cfg Config
 	ln  net.Listener
+	reg *obs.Registry
+	m   *liveMetrics
 
 	mu       sync.Mutex
 	forward  map[uint64]*liveState
@@ -108,9 +158,12 @@ func Start(addr string, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen: %w", err)
 	}
+	reg := obs.NewRegistry()
 	n := &Node{
 		cfg:      cfg,
 		ln:       ln,
+		reg:      reg,
+		m:        newLiveMetrics(reg),
 		forward:  make(map[uint64]*liveState),
 		reverse:  make(map[uint64]*liveState),
 		acks:     make(map[uint64]chan struct{}),
@@ -145,6 +198,21 @@ func (n *Node) roster() *Roster {
 
 // ID returns the node's roster identity.
 func (n *Node) ID() netsim.NodeID { return n.cfg.ID }
+
+// Metrics returns the node's metrics registry.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// DebugHandler returns an expvar-style HTTP handler exposing the
+// node's metrics as indented JSON; cmd/anonnode mounts it at
+// /debug/vars when -debug is set.
+func (n *Node) DebugHandler() http.Handler { return n.reg }
+
+// syncStateGauges refreshes the relay-state gauges. Callers must hold
+// n.mu.
+func (n *Node) syncStateGauges() {
+	n.m.forwardStates.Set(float64(len(n.forward)))
+	n.m.reverseStates.Set(float64(len(n.reverse)))
+}
 
 // Close stops the listener and waits for in-flight handlers. It is
 // idempotent.
@@ -201,6 +269,7 @@ func (n *Node) sweepLoop() {
 					delete(n.reverse, sid)
 				}
 			}
+			n.syncStateGauges()
 			n.mu.Unlock()
 		}
 	}
@@ -210,11 +279,34 @@ func (n *Node) sweepLoop() {
 func (n *Node) send(to netsim.NodeID, f frame) error {
 	conn, err := n.roster().dial(to, n.cfg.DialTimeout)
 	if err != nil {
+		n.noteSendError(to, f)
 		return err
 	}
 	defer conn.Close()
 	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
-	return writeFrame(conn, f)
+	if err := writeFrame(conn, f); err != nil {
+		n.noteSendError(to, f)
+		return err
+	}
+	n.m.framesOut.Inc()
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer.Emit(obs.Event{
+			Type: obs.MsgSent, At: time.Now().UnixMicro(),
+			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid, Size: len(f.body),
+		})
+	}
+	return nil
+}
+
+func (n *Node) noteSendError(to netsim.NodeID, f frame) {
+	n.m.sendErrors.Inc()
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer.Emit(obs.Event{
+			Type: obs.MsgDropped, At: time.Now().UnixMicro(),
+			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid, Size: len(f.body),
+			Reason: obs.ReasonSendFailed,
+		})
+	}
 }
 
 func newSID() uint64 {
@@ -241,6 +333,11 @@ func splitSender(body []byte) (netsim.NodeID, []byte, error) {
 }
 
 func (n *Node) handle(f frame) {
+	if f.kind < kindConstruct || f.kind > kindConstructData {
+		n.m.badFrames.Inc()
+		return
+	}
+	n.m.framesIn[f.kind].Inc()
 	switch f.kind {
 	case kindConstruct:
 		n.handleConstruct(f)
@@ -283,6 +380,7 @@ func (n *Node) handleConstruct(f frame) {
 	n.mu.Lock()
 	n.forward[f.sid] = st
 	n.reverse[st.nextSID] = st
+	n.syncStateGauges()
 	n.mu.Unlock()
 	if layer.Terminal {
 		n.send(from, frame{kind: kindAck, sid: f.sid})
@@ -329,6 +427,7 @@ func (n *Node) handleConstructData(f frame) {
 	n.mu.Lock()
 	n.forward[f.sid] = st
 	n.reverse[st.nextSID] = st
+	n.syncStateGauges()
 	n.mu.Unlock()
 
 	if layer.Terminal {
@@ -441,6 +540,12 @@ func (n *Node) handleDeliver(f frame) {
 	n.mu.Lock()
 	n.respKeys[f.sid] = respStream{relay: relay, key: key}
 	n.mu.Unlock()
+	if n.cfg.Tracer != nil {
+		n.cfg.Tracer.Emit(obs.Event{
+			Type: obs.MsgDelivered, At: time.Now().UnixMicro(),
+			Node: int(n.cfg.ID), Peer: int(relay), ID: f.sid, Size: len(data),
+		})
+	}
 	n.cfg.OnData(ReplyHandle{node: n, sid: f.sid, relay: relay, key: key}, data)
 }
 

@@ -13,6 +13,7 @@ package netsim
 import (
 	"fmt"
 
+	"resilientmix/internal/obs"
 	"resilientmix/internal/sim"
 	"resilientmix/internal/topology"
 )
@@ -62,17 +63,44 @@ type Stats struct {
 	Bytes           uint64 // total bytes placed on the wire (per-link)
 }
 
+// netMetrics holds the network's registry instruments, resolved once
+// at bind time so the send path updates them without map lookups. The
+// per-reason drop counters are incremented at exactly the trace emit
+// sites, which is what lets a run report's drop breakdown reconcile
+// byte-for-byte with its JSONL trace.
+type netMetrics struct {
+	sent, delivered, bytes                         *obs.Counter
+	dropSender, dropReceiver, dropHandler, dropLoss *obs.Counter
+	upNodes                                        *obs.Gauge
+}
+
+func newNetMetrics(reg *obs.Registry) *netMetrics {
+	return &netMetrics{
+		sent:         reg.Counter("net.sent"),
+		delivered:    reg.Counter("net.delivered"),
+		bytes:        reg.Counter("net.bytes"),
+		dropSender:   reg.Counter("net.dropped." + obs.ReasonSenderDown.String()),
+		dropReceiver: reg.Counter("net.dropped." + obs.ReasonReceiverDown.String()),
+		dropHandler:  reg.Counter("net.dropped." + obs.ReasonNoHandler.String()),
+		dropLoss:     reg.Counter("net.dropped." + obs.ReasonLinkLoss.String()),
+		upNodes:      reg.Gauge("net.up_nodes"),
+	}
+}
+
 // Network is the simulated message plane. It must only be used from the
 // simulation goroutine that drives its Engine.
 type Network struct {
 	eng       *sim.Engine
 	lat       *topology.Matrix
 	up        []bool
+	nUp       int
 	handlers  []Handler
 	listeners []StateListener
 	taps      []Tap
 	lossRate  float64
 	stats     Stats
+	tracer    obs.Tracer
+	m         *netMetrics
 }
 
 // New creates a network over the given latency matrix. All nodes start
@@ -87,8 +115,23 @@ func New(eng *sim.Engine, lat *topology.Matrix) *Network {
 		eng:      eng,
 		lat:      lat,
 		up:       up,
+		nUp:      n,
 		handlers: make([]Handler, n),
 	}
+}
+
+// SetTracer installs (or removes, with nil) the network's trace sink.
+func (n *Network) SetTracer(t obs.Tracer) { n.tracer = t }
+
+// BindMetrics resolves the network's counters and gauges in the given
+// registry. Passing nil unbinds.
+func (n *Network) BindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		n.m = nil
+		return
+	}
+	n.m = newNetMetrics(reg)
+	n.m.upNodes.Set(float64(n.nUp))
 }
 
 // Engine returns the driving simulation engine.
@@ -134,15 +177,7 @@ func (n *Network) SetLossRate(p float64) {
 func (n *Network) IsUp(id NodeID) bool { return n.up[n.check(id)] }
 
 // UpCount returns the number of nodes currently up.
-func (n *Network) UpCount() int {
-	c := 0
-	for _, u := range n.up {
-		if u {
-			c++
-		}
-	}
-	return c
-}
+func (n *Network) UpCount() int { return n.nUp }
 
 // SetUp transitions a node's liveness state. Transitions to the current
 // state are no-ops (listeners are not re-notified).
@@ -152,6 +187,21 @@ func (n *Network) SetUp(id NodeID, up bool) {
 		return
 	}
 	n.up[i] = up
+	if up {
+		n.nUp++
+	} else {
+		n.nUp--
+	}
+	if n.m != nil {
+		n.m.upNodes.Set(float64(n.nUp))
+	}
+	if n.tracer != nil {
+		typ := obs.NodeDown
+		if up {
+			typ = obs.NodeUp
+		}
+		n.tracer.Emit(obs.Event{Type: typ, At: int64(n.eng.Now()), Node: i, Peer: -1})
+	}
 	for _, l := range n.listeners {
 		l(id, up)
 	}
@@ -169,28 +219,83 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 	}
 	if !n.up[fi] {
 		n.stats.DroppedSender++
+		if n.m != nil {
+			n.m.dropSender.Inc()
+		}
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{
+				Type: obs.MsgDropped, At: int64(n.eng.Now()),
+				Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonSenderDown,
+			})
+		}
 		return false
 	}
 	n.stats.Sent++
 	n.stats.Bytes += uint64(msg.Size)
+	if n.m != nil {
+		n.m.sent.Inc()
+		n.m.bytes.Add(uint64(msg.Size))
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{
+			Type: obs.MsgSent, At: int64(n.eng.Now()),
+			Node: fi, Peer: ti, Size: msg.Size,
+		})
+	}
 	for _, tap := range n.taps {
 		tap(from, to, msg)
 	}
 	if n.lossRate > 0 && n.eng.RNG().Float64() < n.lossRate {
 		n.stats.DroppedLoss++
+		if n.m != nil {
+			n.m.dropLoss.Inc()
+		}
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{
+				Type: obs.MsgDropped, At: int64(n.eng.Now()),
+				Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonLinkLoss,
+			})
+		}
 		return true // bytes entered the wire; the message just never arrives
 	}
 	n.eng.Schedule(n.lat.OneWay(fi, ti), func() {
 		if !n.up[ti] {
 			n.stats.DroppedReceiver++
+			if n.m != nil {
+				n.m.dropReceiver.Inc()
+			}
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{
+					Type: obs.MsgDropped, At: int64(n.eng.Now()),
+					Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonReceiverDown,
+				})
+			}
 			return
 		}
 		h := n.handlers[ti]
 		if h == nil {
 			n.stats.DroppedReceiver++
+			if n.m != nil {
+				n.m.dropHandler.Inc()
+			}
+			if n.tracer != nil {
+				n.tracer.Emit(obs.Event{
+					Type: obs.MsgDropped, At: int64(n.eng.Now()),
+					Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonNoHandler,
+				})
+			}
 			return
 		}
 		n.stats.Delivered++
+		if n.m != nil {
+			n.m.delivered.Inc()
+		}
+		if n.tracer != nil {
+			n.tracer.Emit(obs.Event{
+				Type: obs.MsgDelivered, At: int64(n.eng.Now()),
+				Node: ti, Peer: fi, Size: msg.Size,
+			})
+		}
 		h.HandleMessage(from, msg)
 	})
 	return true

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL is a tracer that writes one JSON object per event, one event
+// per line. The encoding is hand-rolled with a fixed field order, so a
+// deterministic simulation produces a byte-identical trace stream —
+// the property the determinism regression test hashes. Safe for
+// concurrent use.
+//
+// A line looks like:
+//
+//	{"t":"msg_sent","at":3600000000,"node":0,"peer":17,"id":9246211,"seq":0,"size":1292,"reason":"none"}
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	n  uint64
+	// scratch is the per-event encode buffer, reused across emits.
+	scratch []byte
+}
+
+// NewJSONL wraps a writer in a buffered JSONL tracer. Call Flush (or
+// Close on the underlying file) when the run ends.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriterSize(w, 1<<16), scratch: make([]byte, 0, 192)}
+}
+
+// Emit encodes and writes one event line.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	j.scratch = AppendJSON(j.scratch[:0], e)
+	j.scratch = append(j.scratch, '\n')
+	j.w.Write(j.scratch)
+	j.n++
+	j.mu.Unlock()
+}
+
+// Events returns the number of events written.
+func (j *JSONL) Events() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Flush drains buffered output to the underlying writer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Flush()
+}
+
+// AppendJSON appends the canonical JSON encoding of e (no trailing
+// newline) to b and returns the extended slice. Every field is always
+// present, in fixed order, so equal events encode to equal bytes.
+func AppendJSON(b []byte, e Event) []byte {
+	b = append(b, `{"t":"`...)
+	b = append(b, e.Type.String()...)
+	b = append(b, `","at":`...)
+	b = strconv.AppendInt(b, e.At, 10)
+	b = append(b, `,"node":`...)
+	b = strconv.AppendInt(b, int64(e.Node), 10)
+	b = append(b, `,"peer":`...)
+	b = strconv.AppendInt(b, int64(e.Peer), 10)
+	b = append(b, `,"id":`...)
+	b = strconv.AppendUint(b, e.ID, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, e.Seq, 10)
+	b = append(b, `,"size":`...)
+	b = strconv.AppendInt(b, int64(e.Size), 10)
+	b = append(b, `,"reason":"`...)
+	b = append(b, e.Reason.String()...)
+	b = append(b, `"}`...)
+	return b
+}
+
+// eventJSON is the parse-side shape of one trace line.
+type eventJSON struct {
+	T      string `json:"t"`
+	At     int64  `json:"at"`
+	Node   int    `json:"node"`
+	Peer   int    `json:"peer"`
+	ID     uint64 `json:"id"`
+	Seq    int64  `json:"seq"`
+	Size   int    `json:"size"`
+	Reason string `json:"reason"`
+}
+
+var (
+	typeByName   = map[string]Type{}
+	reasonByName = map[string]Reason{}
+)
+
+func init() {
+	for t := EventScheduled; t < numTypes; t++ {
+		typeByName[t.String()] = t
+	}
+	for r := ReasonNone; r < numReasons; r++ {
+		reasonByName[r.String()] = r
+	}
+}
+
+// ParseEvent decodes one JSONL trace line.
+func ParseEvent(line []byte) (Event, error) {
+	var ej eventJSON
+	if err := json.Unmarshal(line, &ej); err != nil {
+		return Event{}, fmt.Errorf("obs: bad trace line: %w", err)
+	}
+	t, ok := typeByName[ej.T]
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown event type %q", ej.T)
+	}
+	r, ok := reasonByName[ej.Reason]
+	if !ok {
+		return Event{}, fmt.Errorf("obs: unknown reason %q", ej.Reason)
+	}
+	return Event{
+		Type: t, At: ej.At, Node: ej.Node, Peer: ej.Peer,
+		ID: ej.ID, Seq: ej.Seq, Size: ej.Size, Reason: r,
+	}, nil
+}
+
+// ParseJSONL decodes a whole trace stream, one event per line; blank
+// lines are skipped.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []Event
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

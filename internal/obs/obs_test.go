@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleEvent returns a fully populated event of the given type so
+// round trips exercise every field.
+func sampleEvent(t Type, i int) Event {
+	return Event{
+		Type:   t,
+		At:     int64(1_000_000*i + 7),
+		Node:   i % 5,
+		Peer:   (i + 1) % 5,
+		ID:     uint64(0xdeadbeef00 + i),
+		Seq:    int64(i * 3),
+		Size:   128 + i,
+		Reason: Reason(i % int(numReasons)),
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("fresh ring: len=%d total=%d", r.Len(), r.Total())
+	}
+	// Partially filled: order preserved, nothing lost.
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Type: MsgSent, Seq: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Seq != 0 || evs[2].Seq != 2 {
+		t.Fatalf("partial ring events: %+v", evs)
+	}
+	// Overfill: oldest overwritten, oldest-first order across the seam.
+	for i := 3; i < 10; i++ {
+		r.Emit(Event{Type: MsgSent, Seq: int64(i)})
+	}
+	evs = r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("full ring holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Seq != want {
+			t.Errorf("event %d: seq %d, want %d", i, e.Seq, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total %d, want 10", r.Total())
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.Events()) != 0 {
+		t.Error("reset ring not empty")
+	}
+}
+
+// TestRingExactFill covers the boundary where next wraps to 0 exactly.
+func TestRingExactFill(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 3; i++ {
+		r.Emit(Event{Seq: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Seq != 0 || evs[2].Seq != 2 {
+		t.Fatalf("exactly-full ring events: %+v", evs)
+	}
+}
+
+func TestJSONLRoundTripEveryType(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	var want []Event
+	for i, typ := range Types() {
+		e := sampleEvent(typ, i)
+		j.Emit(e)
+		want = append(want, e)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Events() != uint64(len(want)) {
+		t.Fatalf("writer counted %d events, want %d", j.Events(), len(want))
+	}
+	got, err := ParseJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestJSONLDeterministicEncoding(t *testing.T) {
+	e := sampleEvent(MsgDropped, 3)
+	a := AppendJSON(nil, e)
+	b := AppendJSON(nil, e)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("equal events encoded differently:\n%s\n%s", a, b)
+	}
+	// Negative node ids (the "no node" sentinel) must survive.
+	e2 := Event{Type: EventFired, Node: -1, Peer: -1, ID: 42}
+	back, err := ParseEvent(AppendJSON(nil, e2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != e2 {
+		t.Fatalf("sentinel round trip: got %+v want %+v", back, e2)
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := ParseEvent([]byte(`{"t":"nope","reason":"none"}`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := ParseEvent([]byte(`{"t":"msg_sent","reason":"nope"}`)); err == nil {
+		t.Error("unknown reason accepted")
+	}
+	if _, err := ParseEvent([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	// A sample exactly on a bound belongs to that bound's bucket
+	// (x <= le), the convention documented on Histogram.
+	h.Observe(1)     // bucket le=1
+	h.Observe(1.001) // bucket le=10
+	h.Observe(10)    // bucket le=10
+	h.Observe(100)   // bucket le=100
+	h.Observe(100.5) // overflow
+	h.Observe(0)     // bucket le=1
+	s := h.snapshot()
+	wantCounts := []uint64{2, 2, 1}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket le=%g: count %d, want %d", b.LE, b.Count, wantCounts[i])
+		}
+	}
+	if s.Overflow != 1 {
+		t.Errorf("overflow %d, want 1", s.Overflow)
+	}
+	if s.Count != 6 {
+		t.Errorf("count %d, want 6", s.Count)
+	}
+	if s.Min != 0 || s.Max != 100.5 {
+		t.Errorf("min/max %g/%g, want 0/100.5", s.Min, s.Max)
+	}
+	if got := h.Mean(); got != s.Sum/6 {
+		t.Errorf("mean %g, want %g", got, s.Sum/6)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			newHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c1.Add(3)
+	if c2 := r.Counter("a"); c2 != c1 || c2.Value() != 3 {
+		t.Error("counter not shared by name")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if r.Gauge("g").Value() != 2.5 {
+		t.Error("gauge not shared by name")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(1.5)
+	if r.Histogram("h", []float64{9}).Count() != 1 {
+		t.Error("histogram not shared by name")
+	}
+	drops := r.Counter("net.dropped.link_loss")
+	drops.Add(7)
+	r.Counter("net.sent").Add(100)
+	byReason := r.CountersWithPrefix("net.dropped.")
+	if len(byReason) != 1 || byReason["link_loss"] != 7 {
+		t.Errorf("prefix extraction: %v", byReason)
+	}
+}
+
+// TestReportSnapshotStability: marshaling the same registry state twice
+// yields identical bytes, and a report round-trips through JSON.
+func TestReportSnapshotStability(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last").Add(1)
+	reg.Counter("a.first").Add(2)
+	reg.Gauge("mid").Set(3)
+	reg.Histogram("lat", []float64{1, 5, 25}).Observe(4)
+
+	snap := reg.Snapshot()
+	rep := &Report{
+		Name:           "test",
+		Seed:           42,
+		Config:         map[string]string{"n": "64", "protocol": "simera"},
+		VirtualSeconds: 3600,
+		WallSeconds:    2,
+		EventsExecuted: 1000,
+		Outcome:        map[string]float64{"delivered": 10},
+		Drops:          map[string]uint64{"link_loss": 7},
+		Metrics:        &snap,
+	}
+	rep.FillThroughput()
+	if rep.EventsPerWallSecond != 500 || rep.SpeedupFactor != 1800 {
+		t.Fatalf("throughput: %g ev/s, %gx", rep.EventsPerWallSecond, rep.SpeedupFactor)
+	}
+
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same report marshaled to different bytes")
+	}
+	back, err := ReadReport(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatalf("report round trip:\n got %+v\nwant %+v", back, rep)
+	}
+}
+
+func TestCountsAndMulti(t *testing.T) {
+	var c Counts
+	ring := NewRing(8)
+	tr := Multi(nil, &c, nil, ring)
+	tr.Emit(Event{Type: MsgSent})
+	tr.Emit(Event{Type: MsgDropped, Reason: ReasonLinkLoss})
+	tr.Emit(Event{Type: MsgDropped, Reason: ReasonReceiverDown})
+	tr.Emit(Event{Type: MsgDropped, Reason: ReasonLinkLoss})
+	if c.Of(MsgSent) != 1 || c.Of(MsgDropped) != 3 {
+		t.Errorf("type counts: sent=%d dropped=%d", c.Of(MsgSent), c.Of(MsgDropped))
+	}
+	if c.Dropped(ReasonLinkLoss) != 2 || c.Dropped(ReasonReceiverDown) != 1 {
+		t.Error("drop reason counts wrong")
+	}
+	want := map[string]uint64{"link_loss": 2, "receiver_down": 1}
+	if got := c.DropReasons(); !reflect.DeepEqual(got, want) {
+		t.Errorf("DropReasons: %v, want %v", got, want)
+	}
+	if ring.Len() != 4 {
+		t.Errorf("multi did not reach ring: %d events", ring.Len())
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi of nils should be nil")
+	}
+	if Multi(ring) != Tracer(ring) {
+		t.Error("Multi of one tracer should be that tracer")
+	}
+}
+
+func TestTypeReasonStrings(t *testing.T) {
+	// Every type and reason has a distinct, non-"invalid" name — the
+	// wire vocabulary the docs table lists.
+	seen := map[string]bool{}
+	for _, typ := range Types() {
+		s := typ.String()
+		if s == "invalid" || seen[s] {
+			t.Errorf("type %d has bad name %q", typ, s)
+		}
+		seen[s] = true
+	}
+	for _, r := range Reasons() {
+		s := r.String()
+		if s == "invalid" || seen[s] {
+			t.Errorf("reason %d has bad name %q", r, s)
+		}
+		seen[s] = true
+	}
+	if Type(200).String() != "invalid" || Reason(200).String() != "invalid" {
+		t.Error("out-of-range values must stringify as invalid")
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("live.frames_in.data").Add(5)
+	rec := &httpRecorder{}
+	reg.ServeHTTP(rec, nil)
+	if !strings.Contains(rec.buf.String(), `"live.frames_in.data": 5`) {
+		t.Errorf("debug endpoint output missing counter:\n%s", rec.buf.String())
+	}
+	if ct := rec.header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+// httpRecorder is a minimal http.ResponseWriter for testing without
+// net/http/httptest's server machinery.
+type httpRecorder struct {
+	buf    bytes.Buffer
+	header http.Header
+	code   int
+}
+
+func (r *httpRecorder) Header() http.Header {
+	if r.header == nil {
+		r.header = http.Header{}
+	}
+	return r.header
+}
+func (r *httpRecorder) Write(b []byte) (int, error) { return r.buf.Write(b) }
+func (r *httpRecorder) WriteHeader(code int)        { r.code = code }
+
+func ExampleAppendJSON() {
+	e := Event{Type: MsgSent, At: 1000, Node: 0, Peer: 3, ID: 7, Size: 64}
+	fmt.Println(string(AppendJSON(nil, e)))
+	// Output: {"t":"msg_sent","at":1000,"node":0,"peer":3,"id":7,"seq":0,"size":64,"reason":"none"}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// Report is the machine-readable outcome of one run: what was
+// configured, what happened, why messages were lost, and how fast the
+// simulator ran. cmd/anonsim and cmd/anonbench write one with -report;
+// later perf and robustness PRs diff these files instead of scraping
+// stdout.
+//
+// Wall-clock fields are the only nondeterministic content; everything
+// else is reproducible from the seed, so reports from equal-seed runs
+// differ only in throughput numbers.
+type Report struct {
+	// Name identifies the run kind ("anonsim", "anonbench", ...).
+	Name string `json:"name"`
+	// Seed is the run's base random seed.
+	Seed int64 `json:"seed"`
+	// Config echoes the run configuration, flag-by-flag.
+	Config map[string]string `json:"config,omitempty"`
+	// VirtualSeconds is the simulated time covered.
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// WallSeconds is the real time the run took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// EventsExecuted is the number of engine events run.
+	EventsExecuted uint64 `json:"events_executed,omitempty"`
+	// EventsPerWallSecond is the engine's wall-clock throughput.
+	EventsPerWallSecond float64 `json:"events_per_wall_second,omitempty"`
+	// SpeedupFactor is virtual seconds per wall second.
+	SpeedupFactor float64 `json:"speedup_factor,omitempty"`
+	// Outcome holds run-level aggregates (durability, deliveries,
+	// latency, ...), keyed by metric name.
+	Outcome map[string]float64 `json:"outcome,omitempty"`
+	// Drops is the failure breakdown: messages lost, keyed by reason
+	// name. It reconciles exactly with the trace's msg_dropped events
+	// because both are produced at the same emit sites.
+	Drops map[string]uint64 `json:"drops,omitempty"`
+	// TraceEvents is the number of trace events written, when a trace
+	// was recorded alongside the report.
+	TraceEvents uint64 `json:"trace_events,omitempty"`
+	// Metrics is the full registry snapshot.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// FillThroughput derives the rate fields from the time and event
+// fields already set.
+func (r *Report) FillThroughput() {
+	if r.WallSeconds > 0 {
+		r.EventsPerWallSecond = float64(r.EventsExecuted) / r.WallSeconds
+		r.SpeedupFactor = r.VirtualSeconds / r.WallSeconds
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to a file.
+func (r *Report) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

@@ -1,0 +1,78 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded in-memory tracer: it keeps the most recent
+// `capacity` events and overwrites the oldest once full. It is the
+// right tracer for always-on flight recording — attach one to a long
+// simulation and inspect the tail after a failure without paying for a
+// full trace file. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // index the next event lands in
+	full  bool
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity events; capacity < 1
+// panics.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit records the event, overwriting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total returns the number of events ever emitted, including
+// overwritten ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Events returns the retained events, oldest first, as a fresh slice.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset discards all retained events and zeroes the total.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.next = 0
+	r.full = false
+	r.total = 0
+	r.mu.Unlock()
+}

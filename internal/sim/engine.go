@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"resilientmix/internal/obs"
 )
 
 // Time is a point in virtual time, in microseconds since the start of
@@ -88,6 +90,11 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 	ran     uint64 // events executed, for diagnostics
+
+	// tracer, when non-nil, receives EventScheduled/EventFired for
+	// every queue operation. The nil default costs one branch per
+	// event — the whole price of disabled observability.
+	tracer obs.Tracer
 }
 
 // NewEngine returns an engine whose RNG is seeded with seed. Two engines
@@ -103,6 +110,11 @@ func (e *Engine) Now() Time { return e.now }
 // RNG returns the engine's random source. All simulation randomness must
 // flow through it to preserve determinism.
 func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// SetTracer installs (or, with nil, removes) the engine's trace sink.
+// Tracing never consumes engine randomness, so enabling it cannot
+// change a seeded history.
+func (e *Engine) SetTracer(t obs.Tracer) { e.tracer = t }
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
@@ -129,6 +141,12 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		at = e.now
 	}
 	e.seq++
+	if e.tracer != nil {
+		e.tracer.Emit(obs.Event{
+			Type: obs.EventScheduled, At: int64(e.now),
+			Node: -1, Peer: -1, ID: e.seq, Seq: int64(at),
+		})
+	}
 	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
 }
 
@@ -194,6 +212,12 @@ func (e *Engine) Run(until Time) Time {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		e.ran++
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{
+				Type: obs.EventFired, At: int64(next.at),
+				Node: -1, Peer: -1, ID: next.seq,
+			})
+		}
 		next.fn()
 	}
 	if e.now < until && len(e.queue) == 0 {
@@ -209,6 +233,12 @@ func (e *Engine) RunAll() Time {
 		next := heap.Pop(&e.queue).(*event)
 		e.now = next.at
 		e.ran++
+		if e.tracer != nil {
+			e.tracer.Emit(obs.Event{
+				Type: obs.EventFired, At: int64(next.at),
+				Node: -1, Peer: -1, ID: next.seq,
+			})
+		}
 		next.fn()
 	}
 	return e.now

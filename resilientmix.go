@@ -10,6 +10,7 @@ import (
 	"resilientmix/internal/membership"
 	"resilientmix/internal/mixchoice"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/predictor"
 	"resilientmix/internal/sim"
@@ -199,6 +200,56 @@ type Candidate = membership.Candidate
 // under the given strategy, excluding the listed nodes. Exposed for
 // building custom protocols on the substrate.
 var SelectPaths = mixchoice.SelectPaths
+
+// Tracer receives structured trace events from every instrumented
+// layer (engine, network, sessions, receivers). Set one on
+// NetworkConfig.Tracer or ExperimentOptions.Tracer.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured trace event; see internal/obs for the
+// event taxonomy and field conventions.
+type TraceEvent = obs.Event
+
+// TraceWriter streams trace events as deterministic JSONL.
+type TraceWriter = obs.JSONL
+
+// TraceRing keeps the last N trace events in memory.
+type TraceRing = obs.Ring
+
+// NewTraceWriter returns a tracer streaming JSONL to w; call Flush
+// when the run ends.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewJSONL(w) }
+
+// NewTraceRing returns a tracer keeping the last capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// MultiTracer fans events out to several tracers (nils are skipped).
+var MultiTracer = obs.Multi
+
+// NoopTracer discards every event; it measures the cost of an
+// installed-but-trivial tracer against the nil fast path.
+type NoopTracer = obs.Noop
+
+// ParseTrace reads back a JSONL trace written by a TraceWriter.
+var ParseTrace = obs.ParseJSONL
+
+// MetricsRegistry is a named collection of counters, gauges and
+// histograms; worlds record run aggregates into one.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// RunReport is the machine-readable outcome of one run, written by the
+// -report flag of cmd/anonsim and cmd/anonbench.
+type RunReport = obs.Report
+
+// ReadRunReport parses a report written with RunReport.WriteJSON.
+var ReadRunReport = obs.ReadReport
+
+// StartProfiles starts CPU and/or heap profiling; the returned stop
+// function must run on every exit path.
+var StartProfiles = obs.StartProfiles
 
 // ExperimentOptions tunes reproduction scale (Quick shrinks everything).
 type ExperimentOptions = experiments.Options
