@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick fuzz cover examples profile trace clean
+.PHONY: all build test race bench repro repro-quick fuzz cover examples profile trace analyze clean
 
 all: build test
 
@@ -38,6 +38,14 @@ trace:
 	$(GO) run ./cmd/anonsim -n 256 -seed 1 -trace trace.jsonl -report report.json
 	@echo "wrote trace.jsonl and report.json"
 
+# Offline trace analytics: run a gzip-traced simulation, reconstruct
+# every message's causal timeline, attribute latency, compute anonymity
+# observables, and cross-check the trace against the report registry.
+analyze:
+	$(GO) run ./cmd/anonsim -n 256 -seed 1 -repair -analyze \
+		-trace trace.jsonl.gz -report report.json
+	$(GO) run ./cmd/anontrace report trace.jsonl.gz -reconcile report.json -strict
+
 # CPU + heap profiles of a quick full-suite run; inspect with
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
 profile:
@@ -64,4 +72,4 @@ examples:
 
 clean:
 	rm -rf data results_full.txt test_output.txt bench_output.txt \
-		trace.jsonl report.json cpu.pprof mem.pprof
+		trace.jsonl trace.jsonl.gz report.json cpu.pprof mem.pprof

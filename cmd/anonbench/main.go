@@ -30,8 +30,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base random seed")
 		out     = flag.String("o", "", "write results to this file instead of stdout")
 		csvDir  = flag.String("csv", "", "also write one CSV file per experiment into this directory")
-		traceP  = flag.String("trace", "", "write a JSONL event trace of every simulated world to this file (interleaved across parallel workers; use anonsim for a deterministic single-world trace)")
+		traceP  = flag.String("trace", "", "write a JSONL event trace of every simulated world to this file, gzip when it ends in .gz (interleaved across parallel workers; use anonsim for a deterministic single-world trace)")
 		reportP = flag.String("report", "", "write an aggregate JSON run report to this file")
+		analyzeF = flag.Bool("analyze", false, "run offline trace analytics per experiment and append the digest to each result (aggregate summary lands in the report)")
 		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -67,23 +68,21 @@ func main() {
 	}
 	wallStart := time.Now()
 
-	var tracer *rm.TraceWriter
-	var traceFile *os.File
+	var traceFile *rm.TraceFile
 	var tr rm.Tracer
 	if *traceP != "" {
-		traceFile, err = os.Create(*traceP)
+		traceFile, err = rm.CreateTraceFile(*traceP)
 		if err != nil {
 			fatal(err)
 		}
-		tracer = rm.NewTraceWriter(traceFile)
-		tr = tracer
+		tr = traceFile
 	}
 	var reg *rm.MetricsRegistry
 	if *reportP != "" {
 		reg = rm.NewMetricsRegistry()
 	}
 
-	opts := rm.ExperimentOptions{Seed: *seed, Quick: *quick, Tracer: tr, Metrics: reg}
+	opts := rm.ExperimentOptions{Seed: *seed, Quick: *quick, Tracer: tr, Metrics: reg, Analyze: *analyzeF}
 	ids := rm.ExperimentIDs()
 	if !*all {
 		ids = strings.Split(*expID, ",")
@@ -94,6 +93,8 @@ func main() {
 		}
 	}
 	outcome := make(map[string]float64)
+	// agg merges per-experiment analysis summaries for the report.
+	var agg rm.RunReport
 	for _, id := range ids {
 		start := time.Now()
 		id = strings.TrimSpace(id)
@@ -117,38 +118,74 @@ func main() {
 				fatal(err)
 			}
 		}
+		if a := res.Analysis; a != nil {
+			outcome[id+".messages"] = float64(a.Messages)
+			outcome[id+".delivered"] = float64(a.Delivered)
+			outcome[id+".integrity_errors"] = float64(a.IntegrityErrors)
+			mergeAnalysis(&agg, a)
+		}
 		outcome[id+".wall_seconds"] = time.Since(start).Seconds()
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
-	if tracer != nil {
-		if err := tracer.Flush(); err != nil {
-			fatal(err)
-		}
+	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			fatal(err)
 		}
 	}
 	if *reportP != "" {
 		rep := &rm.RunReport{
-			Name:        "anonbench",
-			Seed:        *seed,
-			Config:      cfgMap,
-			WallSeconds: time.Since(wallStart).Seconds(),
-			Outcome:     outcome,
-			Drops:       reg.CountersWithPrefix("net.dropped."),
+			SchemaVersion: rm.RunReportSchemaVersion,
+			Name:          "anonbench",
+			Seed:          *seed,
+			Config:        cfgMap,
+			WallSeconds:   time.Since(wallStart).Seconds(),
+			Outcome:       outcome,
+			Drops:         reg.CountersWithPrefix("net.dropped."),
+			Analysis:      agg.Analysis,
 		}
-		if tracer != nil {
-			rep.TraceEvents = tracer.Events()
+		if traceFile != nil {
+			rep.TraceEvents = traceFile.Events()
 		}
 		snap := reg.Snapshot()
 		rep.Metrics = &snap
+		rep.FillPercentiles()
 		if err := rep.WriteJSONFile(*reportP); err != nil {
 			fatal(err)
 		}
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)
+	}
+}
+
+// mergeAnalysis accumulates one experiment's count-based analysis
+// fields into the aggregate report block. Rate and quantile fields are
+// per-experiment figures and do not sum, so they stay unset here — read
+// them from each experiment's notes, or run anonsim -analyze for a
+// single-world summary.
+func mergeAnalysis(rep *rm.RunReport, a *rm.TraceAnalysisSummary) {
+	if rep.Analysis == nil {
+		rep.Analysis = &rm.TraceAnalysisSummary{}
+	}
+	t := rep.Analysis
+	t.EventsAnalyzed += a.EventsAnalyzed
+	t.Messages += a.Messages
+	t.Delivered += a.Delivered
+	t.Failed += a.Failed
+	t.MessagesInFlight += a.MessagesInFlight
+	t.Journeys += a.Journeys
+	t.JourneysDelivered += a.JourneysDelivered
+	t.JourneysDropped += a.JourneysDropped
+	t.JourneysStalled += a.JourneysStalled
+	t.JourneysInFlight += a.JourneysInFlight
+	t.IntegrityErrors += a.IntegrityErrors
+	t.IntegrityDetails = append(t.IntegrityDetails, a.IntegrityDetails...)
+	if len(a.DropReasons) > 0 && t.DropReasons == nil {
+		t.DropReasons = make(map[string]uint64)
+	}
+	for name, n := range a.DropReasons {
+		t.DropReasons[name] += n
 	}
 }
 

@@ -37,8 +37,9 @@ func main() {
 		loss     = flag.Float64("loss", 0, "random per-message link loss probability [0,1]")
 		predict  = flag.Bool("predict", false, "enable proactive path replacement (§4.5 prediction)")
 		repair   = flag.Bool("repair", false, "enable §4.5 self-repair (probes + path reconstruction)")
-		traceP   = flag.String("trace", "", "write a JSONL event trace to this file")
+		traceP   = flag.String("trace", "", "write a JSONL event trace to this file (gzip when it ends in .gz)")
 		reportP  = flag.String("report", "", "write a JSON run report to this file")
+		analyzeF = flag.Bool("analyze", false, "run offline trace analytics (causal reconstruction, latency attribution, anonymity) and embed the summary in the report")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -54,14 +55,16 @@ func main() {
 	}
 	wallStart := time.Now()
 
-	var tracer *rm.TraceWriter
-	var traceFile *os.File
+	var traceFile *rm.TraceFile
 	if *traceP != "" {
-		traceFile, err = os.Create(*traceP)
+		traceFile, err = rm.CreateTraceFile(*traceP)
 		if err != nil {
 			fatal(err)
 		}
-		tracer = rm.NewTraceWriter(traceFile)
+	}
+	var collector *rm.TraceCollector
+	if *analyzeF {
+		collector = rm.NewTraceCollector()
 	}
 
 	var protocol rm.Protocol
@@ -112,8 +115,13 @@ func main() {
 		fatal(fmt.Errorf("unknown membership mode %q", *member))
 	}
 	var tr rm.Tracer
-	if tracer != nil {
-		tr = tracer
+	switch {
+	case traceFile != nil && collector != nil:
+		tr = rm.MultiTracer(traceFile, collector)
+	case traceFile != nil:
+		tr = traceFile
+	case collector != nil:
+		tr = collector
 	}
 	net, err := rm.NewNetwork(rm.NetworkConfig{
 		N:          *n,
@@ -128,19 +136,33 @@ func main() {
 		fatal(err)
 	}
 
-	// finishObs flushes the trace, writes the report and finalizes
-	// profiles; it must run on every exit path after this point.
+	// finishObs flushes the trace, runs trace analytics, writes the
+	// report and finalizes profiles; it must run on every exit path
+	// after this point.
 	finishObs := func(outcome map[string]float64) {
-		if tracer != nil {
-			if err := tracer.Flush(); err != nil {
-				fatal(err)
-			}
+		if traceFile != nil {
 			if err := traceFile.Close(); err != nil {
 				fatal(err)
 			}
 		}
+		var analysis *rm.TraceAnalysis
+		if collector != nil {
+			analysis = rm.AnalyzeTrace(collector.Events())
+			s := analysis.Summary
+			fmt.Printf("\ntrace analytics: %d messages (%d delivered), %d journeys, %d integrity errors\n",
+				s.Messages, s.Delivered, s.Journeys, s.IntegrityErrors)
+			if l := s.Latency; l != nil {
+				fmt.Printf("  e2e latency p50 %.1fms p99 %.1fms = propagation %.1fms + queueing %.1fms + retry %.1fms (means)\n",
+					l.P50Ms, l.P99Ms, l.MeanPropagationMs, l.MeanQueueingMs, l.MeanRetryMs)
+			}
+			if a := s.Anonymity; a != nil {
+				fmt.Printf("  anonymity set mean %.1f (min %d), entropy %.2f bits, linkage %.1f%%\n",
+					a.MeanSetSize, a.MinSetSize, a.MeanEntropyBits, a.LinkageRate*100)
+			}
+		}
 		if *reportP != "" {
 			rep := &rm.RunReport{
+				SchemaVersion:  rm.RunReportSchemaVersion,
 				Name:           "anonsim",
 				Seed:           *seed,
 				Config:         cfgMap,
@@ -150,11 +172,18 @@ func main() {
 				Outcome:        outcome,
 				Drops:          net.Reg.CountersWithPrefix("net.dropped."),
 			}
-			if tracer != nil {
-				rep.TraceEvents = tracer.Events()
+			if traceFile != nil {
+				rep.TraceEvents = traceFile.Events()
+			} else if collector != nil {
+				rep.TraceEvents = uint64(collector.Len())
+			}
+			if analysis != nil {
+				sum := analysis.Summary
+				rep.Analysis = &sum
 			}
 			snap := net.Reg.Snapshot()
 			rep.Metrics = &snap
+			rep.FillPercentiles()
 			rep.FillThroughput()
 			if err := rep.WriteJSONFile(*reportP); err != nil {
 				fatal(err)

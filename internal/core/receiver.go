@@ -203,7 +203,7 @@ func (r *Receiver) reconstruct(mid uint64, in *inbound, flow *metrics.Flow) {
 		r.tracer.Emit(obs.Event{
 			Type: obs.SegmentReconstructed, At: int64(now),
 			Node: int(r.id), Peer: -1, ID: mid,
-			Seq: int64(len(in.segs)), Size: len(data),
+			Seq: int64(len(in.segs)), Slot: -1, Hop: -1, Size: len(data),
 		})
 	}
 	if r.onDelivered != nil {

@@ -190,6 +190,7 @@ func (s *Session) attempt() {
 						Type: obs.PathBuilt, At: int64(s.w.Eng.Now()),
 						Node: int(s.self), Peer: int(s.responder),
 						ID: uint64(p.SID), Seq: int64(slot.index),
+						Slot: slot.index, Hop: -1,
 					})
 				}
 			}
@@ -300,9 +301,10 @@ func (s *Session) SendMessageTo(dest netsim.NodeID, data []byte) (uint64, error)
 					Needed: int32(m),
 					Data:   segs[si].Data,
 				}
-				if s.sendOnDemand(slot, msg.encode()) {
+				tag := obs.Tag{ID: mid, Seg: msg.Index, Slot: int32(slotIdx)}
+				if s.sendOnDemand(slot, msg.encode(), tag) {
 					out.bySlot[slotIdx] = append(out.bySlot[slotIdx], int32(segs[si].Index))
-					s.noteSegmentSent(dest, mid, msg.Index, len(msg.Data))
+					s.noteSegmentSent(dest, mid, msg.Index, len(msg.Data), slotIdx)
 				}
 			}
 			continue
@@ -315,11 +317,12 @@ func (s *Session) SendMessageTo(dest netsim.NodeID, data []byte) (uint64, error)
 				Needed: int32(m),
 				Data:   segs[si].Data,
 			}
-			if err := initiator.SendDataTo(slot.path, dest, msg.encode(), &s.stats.DataFlow); err != nil {
+			tag := obs.Tag{ID: mid, Seg: msg.Index, Slot: int32(slotIdx)}
+			if err := initiator.SendDataTagged(slot.path, dest, msg.encode(), &s.stats.DataFlow, tag); err != nil {
 				continue
 			}
 			out.bySlot[slotIdx] = append(out.bySlot[slotIdx], int32(segs[si].Index))
-			s.noteSegmentSent(dest, mid, msg.Index, len(msg.Data))
+			s.noteSegmentSent(dest, mid, msg.Index, len(msg.Data), slotIdx)
 		}
 	}
 	s.pending[mid] = out
@@ -331,14 +334,14 @@ func (s *Session) SendMessageTo(dest netsim.NodeID, data []byte) (uint64, error)
 
 // noteSegmentSent records one coded data segment leaving the
 // initiator, in the session stats, the registry, and the trace.
-func (s *Session) noteSegmentSent(dest netsim.NodeID, mid uint64, index int32, size int) {
+func (s *Session) noteSegmentSent(dest netsim.NodeID, mid uint64, index int32, size, slot int) {
 	s.stats.SegmentsSent++
 	s.w.m.segmentsSent.Inc()
 	if s.w.tracer != nil {
 		s.w.tracer.Emit(obs.Event{
 			Type: obs.SegmentSent, At: int64(s.w.Eng.Now()),
 			Node: int(s.self), Peer: int(dest), ID: mid,
-			Seq: int64(index), Size: size,
+			Seq: int64(index), Slot: slot, Hop: -1, Size: size,
 		})
 	}
 }
@@ -445,8 +448,11 @@ func (s *Session) checkAcks(mid uint64) {
 	if !ok {
 		return
 	}
-	for slotIdx, waiting := range out.bySlot {
-		if len(waiting) == 0 {
+	// Iterate slots in index order, not map order: markSlotDead draws
+	// from the engine RNG in repair mode, so the visit order must be
+	// deterministic for same-seed runs to stay byte-identical.
+	for slotIdx := range s.slots {
+		if len(out.bySlot[slotIdx]) == 0 {
 			continue
 		}
 		s.markSlotDead(s.slots[slotIdx])
@@ -468,7 +474,8 @@ func (s *Session) markSlotDead(sl *pathSlot) {
 		s.w.tracer.Emit(obs.Event{
 			Type: obs.PathBroken, At: int64(s.w.Eng.Now()),
 			Node: int(s.self), Peer: int(s.responder),
-			ID: sid, Seq: int64(sl.index), Reason: obs.ReasonAckTimeout,
+			ID: sid, Seq: int64(sl.index), Slot: sl.index, Hop: -1,
+			Reason: obs.ReasonAckTimeout,
 		})
 	}
 	if s.repair {
@@ -567,7 +574,8 @@ func (s *Session) handleAck(p *onion.Path, ack segAckMsg) {
 	}
 	s.stats.SegmentsAcked++
 	s.w.m.segmentsAcked.Inc()
-	for slotIdx, waiting := range out.bySlot {
+	for slotIdx := range s.slots {
+		waiting := out.bySlot[slotIdx]
 		for i, idx := range waiting {
 			if idx == ack.Index {
 				out.bySlot[slotIdx] = append(waiting[:i], waiting[i+1:]...)
@@ -636,7 +644,8 @@ func (s *Session) EnablePrediction(threshold float64, interval sim.Time) {
 					s.w.tracer.Emit(obs.Event{
 						Type: obs.PathBroken, At: int64(s.w.Eng.Now()),
 						Node: int(s.self), Peer: int(s.responder),
-						ID: sid, Seq: int64(sl.index), Reason: obs.ReasonPredicted,
+						ID: sid, Seq: int64(sl.index), Slot: sl.index, Hop: -1,
+						Reason: obs.ReasonPredicted,
 					})
 				}
 				s.replaceSlot(sl)
@@ -649,7 +658,7 @@ func (s *Session) EnablePrediction(threshold float64, interval sim.Time) {
 // payload riding the construction onion (§4.2's combined mode). It
 // reports whether the combined message entered the network; the slot
 // revives when the construction ack arrives.
-func (s *Session) sendOnDemand(sl *pathSlot, plain []byte) bool {
+func (s *Session) sendOnDemand(sl *pathSlot, plain []byte, tag obs.Tag) bool {
 	if sl.repairing {
 		return false
 	}
@@ -660,7 +669,7 @@ func (s *Session) sendOnDemand(sl *pathSlot, plain []byte) bool {
 	initiator := s.w.Nodes[s.self].Initiator
 	old := sl.path
 	sl.repairing = true
-	p, err := initiator.ConstructWithData(relays, s.responder, plain, &s.stats.DataFlow, func(p *onion.Path, ok bool) {
+	p, err := initiator.ConstructWithDataTagged(relays, s.responder, plain, &s.stats.DataFlow, tag, func(p *onion.Path, ok bool) {
 		sl.repairing = false
 		if !ok {
 			s.w.unbindPath(p)
@@ -694,6 +703,7 @@ func (s *Session) notePathRepaired(p *onion.Path, sl *pathSlot) {
 			Type: obs.PathRepaired, At: int64(s.w.Eng.Now()),
 			Node: int(s.self), Peer: int(s.responder),
 			ID: uint64(p.SID), Seq: int64(sl.index),
+			Slot: sl.index, Hop: -1,
 		})
 	}
 }

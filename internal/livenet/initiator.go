@@ -113,7 +113,7 @@ func (n *Node) notePathBuilt(p *Path) {
 		n.cfg.Tracer.Emit(obs.Event{
 			Type: obs.PathBuilt, At: time.Now().UnixMicro(),
 			Node: int(n.cfg.ID), Peer: int(p.Responder),
-			ID: p.SID, Seq: int64(len(p.Relays)),
+			ID: p.SID, Seq: int64(len(p.Relays)), Slot: -1, Hop: -1,
 		})
 	}
 	n.reg.Counter("live.paths_built").Inc()

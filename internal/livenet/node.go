@@ -292,7 +292,8 @@ func (n *Node) send(to netsim.NodeID, f frame) error {
 	if n.cfg.Tracer != nil {
 		n.cfg.Tracer.Emit(obs.Event{
 			Type: obs.MsgSent, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid, Size: len(f.body),
+			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid,
+			Slot: -1, Hop: -1, Size: len(f.body),
 		})
 	}
 	return nil
@@ -303,7 +304,8 @@ func (n *Node) noteSendError(to netsim.NodeID, f frame) {
 	if n.cfg.Tracer != nil {
 		n.cfg.Tracer.Emit(obs.Event{
 			Type: obs.MsgDropped, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid, Size: len(f.body),
+			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid,
+			Slot: -1, Hop: -1, Size: len(f.body),
 			Reason: obs.ReasonSendFailed,
 		})
 	}
@@ -543,7 +545,8 @@ func (n *Node) handleDeliver(f frame) {
 	if n.cfg.Tracer != nil {
 		n.cfg.Tracer.Emit(obs.Event{
 			Type: obs.MsgDelivered, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(relay), ID: f.sid, Size: len(data),
+			Node: int(n.cfg.ID), Peer: int(relay), ID: f.sid,
+			Slot: -1, Hop: -1, Size: len(data),
 		})
 	}
 	n.cfg.OnData(ReplyHandle{node: n, sid: f.sid, relay: relay, key: key}, data)

@@ -10,6 +10,7 @@ import (
 
 	"resilientmix/internal/erasure"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/wire"
 )
 
@@ -285,6 +286,14 @@ func (s *LiveSession) Send(data []byte) (uint64, error) {
 			data:   j.seg.Data,
 		}
 		j.p.Send(msg.encode())
+		if tr := s.node.cfg.Tracer; tr != nil {
+			tr.Emit(obs.Event{
+				Type: obs.SegmentSent, At: time.Now().UnixMicro(),
+				Node: int(s.node.cfg.ID), Peer: int(j.p.Responder), ID: mid,
+				Seq: int64(j.seg.Index), Slot: j.slot, Hop: -1,
+				Size: len(j.seg.Data),
+			})
+		}
 	}
 
 	// Failure detection: after the timeout, unacked slots are dead.

@@ -26,10 +26,15 @@ const Invalid NodeID = -1
 
 // Message is what travels between nodes. Payload is an arbitrary
 // protocol-defined value; Size is the number of bytes the message
-// occupies on the wire and is what bandwidth accounting uses.
+// occupies on the wire and is what bandwidth accounting uses. Trace is
+// the data-plane correlation tag: zero for background traffic, set by
+// the protocol layers on tagged data-plane messages so wire events can
+// be joined into per-stream timelines (it is trace metadata only and
+// must never influence protocol behavior).
 type Message struct {
 	Payload any
 	Size    int
+	Trace   obs.Tag
 }
 
 // Handler receives messages delivered to a node.
@@ -123,6 +128,28 @@ func New(eng *sim.Engine, lat *topology.Matrix) *Network {
 // SetTracer installs (or removes, with nil) the network's trace sink.
 func (n *Network) SetTracer(t obs.Tracer) { n.tracer = t }
 
+// Tracer returns the installed trace sink, nil when tracing is off.
+// Protocol layers use it to emit above-the-wire events (e.g.
+// RelayDropped) into the same stream as the network's own events.
+func (n *Network) Tracer() obs.Tracer { return n.tracer }
+
+// msgEvent builds a message-plane trace event, filling the correlation
+// fields (ID, Seq, Slot, Hop) from the message's tag; untagged traffic
+// gets the -1 sentinels.
+func msgEvent(typ obs.Type, at int64, node, peer int, msg Message, reason obs.Reason) obs.Event {
+	e := obs.Event{
+		Type: typ, At: at, Node: node, Peer: peer,
+		Slot: -1, Hop: -1, Size: msg.Size, Reason: reason,
+	}
+	if tg := msg.Trace; tg.ID != 0 {
+		e.ID = tg.ID
+		e.Seq = int64(tg.Seg)
+		e.Slot = int(tg.Slot)
+		e.Hop = int(tg.Hop)
+	}
+	return e
+}
+
 // BindMetrics resolves the network's counters and gauges in the given
 // registry. Passing nil unbinds.
 func (n *Network) BindMetrics(reg *obs.Registry) {
@@ -200,7 +227,7 @@ func (n *Network) SetUp(id NodeID, up bool) {
 		if up {
 			typ = obs.NodeUp
 		}
-		n.tracer.Emit(obs.Event{Type: typ, At: int64(n.eng.Now()), Node: i, Peer: -1})
+		n.tracer.Emit(obs.Event{Type: typ, At: int64(n.eng.Now()), Node: i, Peer: -1, Slot: -1, Hop: -1})
 	}
 	for _, l := range n.listeners {
 		l(id, up)
@@ -223,10 +250,7 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 			n.m.dropSender.Inc()
 		}
 		if n.tracer != nil {
-			n.tracer.Emit(obs.Event{
-				Type: obs.MsgDropped, At: int64(n.eng.Now()),
-				Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonSenderDown,
-			})
+			n.tracer.Emit(msgEvent(obs.MsgDropped, int64(n.eng.Now()), fi, ti, msg, obs.ReasonSenderDown))
 		}
 		return false
 	}
@@ -237,10 +261,7 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 		n.m.bytes.Add(uint64(msg.Size))
 	}
 	if n.tracer != nil {
-		n.tracer.Emit(obs.Event{
-			Type: obs.MsgSent, At: int64(n.eng.Now()),
-			Node: fi, Peer: ti, Size: msg.Size,
-		})
+		n.tracer.Emit(msgEvent(obs.MsgSent, int64(n.eng.Now()), fi, ti, msg, obs.ReasonNone))
 	}
 	for _, tap := range n.taps {
 		tap(from, to, msg)
@@ -251,10 +272,7 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 			n.m.dropLoss.Inc()
 		}
 		if n.tracer != nil {
-			n.tracer.Emit(obs.Event{
-				Type: obs.MsgDropped, At: int64(n.eng.Now()),
-				Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonLinkLoss,
-			})
+			n.tracer.Emit(msgEvent(obs.MsgDropped, int64(n.eng.Now()), fi, ti, msg, obs.ReasonLinkLoss))
 		}
 		return true // bytes entered the wire; the message just never arrives
 	}
@@ -265,10 +283,7 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 				n.m.dropReceiver.Inc()
 			}
 			if n.tracer != nil {
-				n.tracer.Emit(obs.Event{
-					Type: obs.MsgDropped, At: int64(n.eng.Now()),
-					Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonReceiverDown,
-				})
+				n.tracer.Emit(msgEvent(obs.MsgDropped, int64(n.eng.Now()), fi, ti, msg, obs.ReasonReceiverDown))
 			}
 			return
 		}
@@ -279,10 +294,7 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 				n.m.dropHandler.Inc()
 			}
 			if n.tracer != nil {
-				n.tracer.Emit(obs.Event{
-					Type: obs.MsgDropped, At: int64(n.eng.Now()),
-					Node: fi, Peer: ti, Size: msg.Size, Reason: obs.ReasonNoHandler,
-				})
+				n.tracer.Emit(msgEvent(obs.MsgDropped, int64(n.eng.Now()), fi, ti, msg, obs.ReasonNoHandler))
 			}
 			return
 		}
@@ -291,10 +303,7 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 			n.m.delivered.Inc()
 		}
 		if n.tracer != nil {
-			n.tracer.Emit(obs.Event{
-				Type: obs.MsgDelivered, At: int64(n.eng.Now()),
-				Node: ti, Peer: fi, Size: msg.Size,
-			})
+			n.tracer.Emit(msgEvent(obs.MsgDelivered, int64(n.eng.Now()), ti, fi, msg, obs.ReasonNone))
 		}
 		h.HandleMessage(from, msg)
 	})

@@ -1,0 +1,138 @@
+package analyze
+
+import (
+	"fmt"
+
+	"resilientmix/internal/obs"
+)
+
+// Thresholds bound how much a candidate report may regress from a
+// baseline before `anontrace diff` fails. Zero values disable the
+// corresponding check, so a zero Thresholds passes everything; use
+// DefaultThresholds for a CI-ready loose gate.
+type Thresholds struct {
+	// MaxDeliveryRateDrop fails when the candidate's message delivery
+	// rate is more than this many fraction points below the baseline's
+	// (e.g. 0.05 allows 0.93 -> 0.88 but not 0.93 -> 0.87).
+	MaxDeliveryRateDrop float64
+	// MaxP50IncreaseFrac / MaxP99IncreaseFrac fail when the candidate's
+	// end-to-end latency quantile exceeds the baseline's by more than
+	// this fraction (0.25 allows up to +25%).
+	MaxP50IncreaseFrac float64
+	MaxP99IncreaseFrac float64
+	// MaxIntegrityErrors fails when the candidate has more than this
+	// many trace-integrity errors. Checked whenever the candidate has
+	// an analysis block, even if it is zero — a healthy trace has zero,
+	// so this check cannot be disabled, only loosened.
+	MaxIntegrityErrors int
+	// MaxLinkageIncrease fails when the candidate's sender-receiver
+	// linkage rate exceeds the baseline's by more than this many
+	// fraction points.
+	MaxLinkageIncrease float64
+	// MinSetSizeRatio fails when the candidate's mean anonymity-set
+	// size falls below this fraction of the baseline's (0.8 requires
+	// the candidate to keep at least 80% of the baseline set size).
+	MinSetSizeRatio float64
+}
+
+// DefaultThresholds is the loose CI gate: it catches collapses, not
+// noise.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxDeliveryRateDrop: 0.10,
+		MaxP50IncreaseFrac:  0.50,
+		MaxP99IncreaseFrac:  0.50,
+		MaxIntegrityErrors:  0,
+		MaxLinkageIncrease:  0.10,
+		MinSetSizeRatio:     0.50,
+	}
+}
+
+// Violation is one threshold crossing found by DiffReports.
+type Violation struct {
+	// Metric names what regressed (e.g. "delivery_rate", "p99_ms").
+	Metric string
+	// Base and Cand are the baseline and candidate values.
+	Base, Cand float64
+	// Desc explains the crossing, with the limit applied.
+	Desc string
+}
+
+func (v Violation) String() string { return v.Desc }
+
+// deliveryRate returns a summary's message delivery rate and whether it
+// is measurable.
+func deliveryRate(s *obs.AnalysisSummary) (float64, bool) {
+	if s == nil || s.Messages == 0 {
+		return 0, false
+	}
+	return float64(s.Delivered) / float64(s.Messages), true
+}
+
+// DiffReports compares a candidate run report against a baseline under
+// the given thresholds and returns every violation. Blocks missing from
+// either report (v1 reports, runs without -analyze) are skipped, not
+// treated as zero — except integrity errors, which are checked whenever
+// the candidate has an analysis block.
+func DiffReports(base, cand *obs.Report, th Thresholds) []Violation {
+	var out []Violation
+
+	if cand.Analysis != nil && cand.Analysis.IntegrityErrors > th.MaxIntegrityErrors {
+		out = append(out, Violation{
+			Metric: "integrity_errors",
+			Base:   0, Cand: float64(cand.Analysis.IntegrityErrors),
+			Desc: fmt.Sprintf("candidate has %d trace-integrity errors (max %d)",
+				cand.Analysis.IntegrityErrors, th.MaxIntegrityErrors),
+		})
+	}
+
+	if th.MaxDeliveryRateDrop > 0 {
+		if br, ok := deliveryRate(base.Analysis); ok {
+			if cr, ok := deliveryRate(cand.Analysis); ok && br-cr > th.MaxDeliveryRateDrop {
+				out = append(out, Violation{
+					Metric: "delivery_rate", Base: br, Cand: cr,
+					Desc: fmt.Sprintf("delivery rate fell %.3f -> %.3f (max drop %.3f)",
+						br, cr, th.MaxDeliveryRateDrop),
+				})
+			}
+		}
+	}
+
+	if base.Analysis != nil && cand.Analysis != nil &&
+		base.Analysis.Latency != nil && cand.Analysis.Latency != nil {
+		bl, cl := base.Analysis.Latency, cand.Analysis.Latency
+		checkQ := func(metric string, b, c, frac float64) {
+			if frac > 0 && b > 0 && c > b*(1+frac) {
+				out = append(out, Violation{
+					Metric: metric, Base: b, Cand: c,
+					Desc: fmt.Sprintf("%s rose %.3fms -> %.3fms (max +%.0f%%)",
+						metric, b, c, frac*100),
+				})
+			}
+		}
+		checkQ("p50_ms", bl.P50Ms, cl.P50Ms, th.MaxP50IncreaseFrac)
+		checkQ("p99_ms", bl.P99Ms, cl.P99Ms, th.MaxP99IncreaseFrac)
+	}
+
+	if base.Analysis != nil && cand.Analysis != nil &&
+		base.Analysis.Anonymity != nil && cand.Analysis.Anonymity != nil {
+		ba, ca := base.Analysis.Anonymity, cand.Analysis.Anonymity
+		if th.MaxLinkageIncrease > 0 && ca.LinkageRate-ba.LinkageRate > th.MaxLinkageIncrease {
+			out = append(out, Violation{
+				Metric: "linkage_rate", Base: ba.LinkageRate, Cand: ca.LinkageRate,
+				Desc: fmt.Sprintf("linkage rate rose %.3f -> %.3f (max increase %.3f)",
+					ba.LinkageRate, ca.LinkageRate, th.MaxLinkageIncrease),
+			})
+		}
+		if th.MinSetSizeRatio > 0 && ba.MeanSetSize > 0 &&
+			ca.MeanSetSize < ba.MeanSetSize*th.MinSetSizeRatio {
+			out = append(out, Violation{
+				Metric: "mean_set_size", Base: ba.MeanSetSize, Cand: ca.MeanSetSize,
+				Desc: fmt.Sprintf("mean anonymity-set size fell %.2f -> %.2f (min ratio %.2f)",
+					ba.MeanSetSize, ca.MeanSetSize, th.MinSetSizeRatio),
+			})
+		}
+	}
+
+	return out
+}

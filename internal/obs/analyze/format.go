@@ -1,0 +1,56 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"resilientmix/internal/obs"
+)
+
+// FormatStream renders one stream's causal timeline as indented text
+// for `anontrace stream`: the endpoint frame, then every segment
+// journey with its attempts, hops, and terminal outcome.
+func FormatStream(st *Stream) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "message %d  initiator=%d responder=%d  segments_sent=%d\n",
+		st.MID, st.Initiator, st.Responder, st.SegmentsSent)
+	switch {
+	case st.Reconstructed:
+		fmt.Fprintf(&b, "  delivered: reconstructed at node %d t=%dus (e2e %.3fms)\n",
+			st.Receiver, st.ReconstructedAt, usToMs(st.ReconstructedAt-st.FirstSentAt))
+	case st.InFlight:
+		b.WriteString("  in flight: undelivered, journeys still unresolved at trace end\n")
+	default:
+		b.WriteString("  failed: every segment journey terminated without reconstruction\n")
+	}
+	for _, j := range st.Journeys {
+		fmt.Fprintf(&b, "  seg %d slot %d: %s", j.Seg, j.Slot, j.Outcome)
+		if j.Reason != obs.ReasonNone {
+			fmt.Fprintf(&b, " (%s)", j.Reason)
+		}
+		b.WriteByte('\n')
+		for ai, att := range j.Attempts {
+			if len(j.Attempts) > 1 {
+				fmt.Fprintf(&b, "    attempt %d\n", ai+1)
+			}
+			for i := range att.Hops {
+				h := &att.Hops[i]
+				fmt.Fprintf(&b, "      hop %d  %d -> %d  sent t=%dus", h.Hop, h.From, h.To, h.SentAt)
+				switch {
+				case h.Delivered:
+					fmt.Fprintf(&b, "  delivered t=%dus (+%.3fms)", h.DeliveredAt, usToMs(h.DeliveredAt-h.SentAt))
+				case h.Dropped:
+					fmt.Fprintf(&b, "  dropped (%s)", h.DropReason)
+				default:
+					b.WriteString("  unresolved")
+				}
+				b.WriteByte('\n')
+			}
+			if att.RelayDropped {
+				fmt.Fprintf(&b, "      consumed at node %d t=%dus (%s)\n",
+					att.RelayDropNode, att.RelayDropAt, att.RelayDropReason)
+			}
+		}
+	}
+	return b.String()
+}

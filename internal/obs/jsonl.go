@@ -17,7 +17,7 @@ import (
 //
 // A line looks like:
 //
-//	{"t":"msg_sent","at":3600000000,"node":0,"peer":17,"id":9246211,"seq":0,"size":1292,"reason":"none"}
+//	{"t":"msg_sent","at":3600000000,"node":0,"peer":17,"id":9246211,"seq":0,"slot":2,"hop":1,"size":1292,"reason":"none"}
 type JSONL struct {
 	mu sync.Mutex
 	w  *bufio.Writer
@@ -72,6 +72,10 @@ func AppendJSON(b []byte, e Event) []byte {
 	b = strconv.AppendUint(b, e.ID, 10)
 	b = append(b, `,"seq":`...)
 	b = strconv.AppendInt(b, e.Seq, 10)
+	b = append(b, `,"slot":`...)
+	b = strconv.AppendInt(b, int64(e.Slot), 10)
+	b = append(b, `,"hop":`...)
+	b = strconv.AppendInt(b, int64(e.Hop), 10)
 	b = append(b, `,"size":`...)
 	b = strconv.AppendInt(b, int64(e.Size), 10)
 	b = append(b, `,"reason":"`...)
@@ -88,6 +92,8 @@ type eventJSON struct {
 	Peer   int    `json:"peer"`
 	ID     uint64 `json:"id"`
 	Seq    int64  `json:"seq"`
+	Slot   int    `json:"slot"`
+	Hop    int    `json:"hop"`
 	Size   int    `json:"size"`
 	Reason string `json:"reason"`
 }
@@ -122,29 +128,45 @@ func ParseEvent(line []byte) (Event, error) {
 	}
 	return Event{
 		Type: t, At: ej.At, Node: ej.Node, Peer: ej.Peer,
-		ID: ej.ID, Seq: ej.Seq, Size: ej.Size, Reason: r,
+		ID: ej.ID, Seq: ej.Seq, Slot: ej.Slot, Hop: ej.Hop,
+		Size: ej.Size, Reason: r,
 	}, nil
 }
 
 // ParseJSONL decodes a whole trace stream, one event per line; blank
 // lines are skipped.
 func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := ForEachEvent(r, func(e Event) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEachEvent streams a JSONL trace through fn, one event at a time,
+// without materializing the whole trace; blank lines are skipped. A
+// non-nil error from fn aborts the scan and is returned.
+func ForEachEvent(r io.Reader, fn func(Event) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	var out []Event
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
 		e, err := ParseEvent(line)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", len(out)+1, err)
+			return fmt.Errorf("line %d: %w", lineNo, err)
 		}
-		out = append(out, e)
+		if err := fn(e); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return sc.Err()
 }

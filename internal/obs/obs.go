@@ -20,10 +20,15 @@
 // The event taxonomy covers the per-hop life of a message and the
 // lifecycle of the structures around it: engine scheduling
 // (EventScheduled/EventFired), the message plane (MsgSent /
-// MsgDelivered / MsgDropped with a typed drop reason), churn
-// (NodeUp/NodeDown), path lifecycle (PathBuilt / PathBroken /
-// PathRepaired) and the erasure-coded data plane (SegmentSent /
-// SegmentReconstructed).
+// MsgDelivered / MsgDropped with a typed drop reason, RelayDropped for
+// messages consumed above the wire), churn (NodeUp/NodeDown), path
+// lifecycle (PathBuilt / PathBroken / PathRepaired) and the
+// erasure-coded data plane (SegmentSent / SegmentReconstructed).
+//
+// Data-plane messages additionally carry a Tag — message id, segment
+// index, path-slot index and hop depth — threaded through the protocol
+// layers, so offline tooling (internal/obs/analyze, cmd/anontrace) can
+// join a stream's wire events into a causal per-hop timeline.
 package obs
 
 import "sync/atomic"
@@ -70,6 +75,13 @@ const (
 	// message from segments: ID is the message id, Seq the number of
 	// distinct segments held at reconstruction time.
 	SegmentReconstructed
+	// RelayDropped records a message that arrived on the wire but was
+	// consumed above it — a relay or responder could not process it
+	// (Reason: no_state when the path state was expired or wiped,
+	// bad_layer when decryption or parsing failed). Node is the node
+	// that dropped it. Without this event such messages would appear
+	// delivered in the trace and then silently vanish.
+	RelayDropped
 
 	numTypes
 )
@@ -88,6 +100,7 @@ var typeNames = [numTypes]string{
 	PathRepaired:         "path_repaired",
 	SegmentSent:          "segment_sent",
 	SegmentReconstructed: "segment_reconstructed",
+	RelayDropped:         "relay_dropped",
 }
 
 // String returns the stable wire name of the type.
@@ -134,6 +147,11 @@ const (
 	// ReasonSendFailed: a live-network send failed (dial or write
 	// error) — the TCP analogue of ReasonSenderDown.
 	ReasonSendFailed
+	// ReasonNoState: a relay received a message for an unknown or
+	// expired stream (state lost to TTL expiry or a node failure, §4.3).
+	ReasonNoState
+	// ReasonBadLayer: an onion layer failed to decrypt or parse.
+	ReasonBadLayer
 
 	numReasons
 )
@@ -147,6 +165,8 @@ var reasonNames = [numReasons]string{
 	ReasonAckTimeout:   "ack_timeout",
 	ReasonPredicted:    "predicted",
 	ReasonSendFailed:   "send_failed",
+	ReasonNoState:      "no_state",
+	ReasonBadLayer:     "bad_layer",
 }
 
 // String returns the stable wire name of the reason.
@@ -186,10 +206,47 @@ type Event struct {
 	// Seq is an ordinal: segment index, path-slot index, or (for
 	// EventScheduled) the virtual time the callback will fire at.
 	Seq int64
+	// Slot is the path-slot index of the session path the event belongs
+	// to, -1 when not applicable. On message events it comes from the
+	// data-plane Tag; on path lifecycle and segment events it is set by
+	// the session directly.
+	Slot int
+	// Hop is the link depth along a path for tagged message events:
+	// 0 is the initiator's first link, L the terminal relay's delivery
+	// link. -1 when not applicable (untagged or non-message events).
+	Hop int
 	// Size is the wire size in bytes for message events.
 	Size int
-	// Reason classifies MsgDropped and PathBroken events.
+	// Reason classifies MsgDropped, RelayDropped and PathBroken events.
 	Reason Reason
+}
+
+// Tag is the data-plane trace metadata a message carries through the
+// protocol layers: which application message it belongs to, which coded
+// segment it is, which path slot it rides, and how deep along the path
+// it currently is. The zero Tag (ID == 0) marks untagged traffic —
+// construction, acks, membership and other background messages.
+// Threading the tag costs nothing when tracing is disabled and draws no
+// randomness, so it never perturbs a seeded run.
+type Tag struct {
+	// ID is the application message id (0 = untagged).
+	ID uint64
+	// Seg is the erasure segment index.
+	Seg int32
+	// Slot is the session path-slot index.
+	Slot int32
+	// Hop is the current link depth (0 = initiator's first link).
+	Hop int32
+}
+
+// Next returns the tag advanced one hop — what a relay stamps on the
+// message it forwards.
+func (t Tag) Next() Tag {
+	if t.ID == 0 {
+		return t
+	}
+	t.Hop++
+	return t
 }
 
 // Tracer receives trace events. Implementations used from concurrent

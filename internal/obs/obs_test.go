@@ -19,6 +19,8 @@ func sampleEvent(t Type, i int) Event {
 		Peer:   (i + 1) % 5,
 		ID:     uint64(0xdeadbeef00 + i),
 		Seq:    int64(i * 3),
+		Slot:   i % 4,
+		Hop:    i % 3,
 		Size:   128 + i,
 		Reason: Reason(i % int(numReasons)),
 	}
@@ -323,7 +325,105 @@ func (r *httpRecorder) Write(b []byte) (int, error) { return r.buf.Write(b) }
 func (r *httpRecorder) WriteHeader(code int)        { r.code = code }
 
 func ExampleAppendJSON() {
-	e := Event{Type: MsgSent, At: 1000, Node: 0, Peer: 3, ID: 7, Size: 64}
+	e := Event{Type: MsgSent, At: 1000, Node: 0, Peer: 3, ID: 7, Slot: 2, Hop: 1, Size: 64}
 	fmt.Println(string(AppendJSON(nil, e)))
-	// Output: {"t":"msg_sent","at":1000,"node":0,"peer":3,"id":7,"seq":0,"size":64,"reason":"none"}
+	// Output: {"t":"msg_sent","at":1000,"node":0,"peer":3,"id":7,"seq":0,"slot":2,"hop":1,"size":64,"reason":"none"}
+}
+
+func TestTagNext(t *testing.T) {
+	tag := Tag{ID: 9, Seg: 2, Slot: 1, Hop: 0}
+	n := tag.Next()
+	if n.Hop != 1 || n.ID != 9 || n.Seg != 2 || n.Slot != 1 {
+		t.Errorf("Next: %+v", n)
+	}
+	if tag.Hop != 0 {
+		t.Error("Next mutated its receiver")
+	}
+	// The zero (untagged) tag never advances: background traffic stays
+	// indistinguishable from its zero value.
+	if z := (Tag{}).Next(); z != (Tag{}) {
+		t.Errorf("zero tag advanced: %+v", z)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 3; i++ {
+		c.Emit(Event{Type: MsgSent, Seq: int64(i)})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len %d, want 3", c.Len())
+	}
+	evs := c.Events()
+	evs[0].Seq = 99 // copies must not alias the collector's storage
+	if c.Events()[0].Seq != 0 {
+		t.Error("Events returned aliased storage")
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Error("reset collector not empty")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40, 50})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// 100 evenly spread samples 0.5..49.5: quantiles should be close to
+	// the exact sample quantiles, and are always bounded by min/max.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i)/2 + 0.25)
+	}
+	s := h.snapshot()
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 25, 1.5},
+		{0.90, 45, 1.5},
+		{0.99, 49.5, 1.5},
+	} {
+		got := s.Quantile(tc.q)
+		if got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Errorf("q%.2f = %g, want %g±%g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if got := s.Quantile(0); got != s.Min {
+		t.Errorf("q0 = %g, want min %g", got, s.Min)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("q1 = %g, want max %g", got, s.Max)
+	}
+	p := s.Percentiles()
+	if p.P50 > p.P90 || p.P90 > p.P95 || p.P95 > p.P99 {
+		t.Errorf("percentiles not monotone: %+v", p)
+	}
+
+	// Overflow interpolation: samples past the last bound resolve
+	// between the bound and the observed max.
+	h2 := newHistogram([]float64{10})
+	h2.Observe(5)
+	h2.Observe(100)
+	h2.Observe(200)
+	if got := h2.Quantile(0.99); got <= 10 || got > 200 {
+		t.Errorf("overflow quantile %g outside (10, 200]", got)
+	}
+}
+
+func TestReportFillPercentiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("e2e_ms", []float64{10, 100})
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i * 10))
+	}
+	snap := reg.Snapshot()
+	rep := &Report{SchemaVersion: ReportSchemaVersion, Metrics: &snap}
+	rep.FillPercentiles()
+	q, ok := rep.Percentiles["e2e_ms"]
+	if !ok {
+		t.Fatal("percentiles missing histogram")
+	}
+	if q.P50 <= 0 || q.P99 > 100 || q.P50 > q.P99 {
+		t.Errorf("quantiles %+v", q)
+	}
+	// No metrics → no percentiles, and no panic.
+	(&Report{}).FillPercentiles()
 }

@@ -96,6 +96,14 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// samples by linear interpolation inside the bucket the rank falls in
+// (the Prometheus convention), using the exact Min/Max to bound the
+// first and overflow buckets. Empty histograms return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.snapshot().Quantile(q)
+}
+
 // snapshot captures the histogram state.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
@@ -129,6 +137,77 @@ type HistogramSnapshot struct {
 	Max      float64  `json:"max"`
 	Buckets  []Bucket `json:"buckets"`
 	Overflow uint64   `json:"overflow"`
+}
+
+// Quantiles is the percentile summary reports surface for each latency
+// histogram.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Percentiles computes the standard p50/p90/p95/p99 summary.
+func (s HistogramSnapshot) Percentiles() Quantiles {
+	return Quantiles{
+		P50: s.Quantile(0.50),
+		P90: s.Quantile(0.90),
+		P95: s.Quantile(0.95),
+		P99: s.Quantile(0.99),
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket the rank falls in. The first bucket
+// interpolates from Min and the overflow bucket toward Max, so the
+// estimate is always within the observed range. Empty snapshots
+// return 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	lower := s.Min
+	for _, b := range s.Buckets {
+		upper := b.LE
+		if next := cum + float64(b.Count); next >= rank {
+			v := lower
+			if b.Count > 0 {
+				v += (rank - cum) / float64(b.Count) * (upper - lower)
+			}
+			return clampQuantile(v, s.Min, s.Max)
+		} else {
+			cum = next
+		}
+		if upper > lower {
+			lower = upper
+		}
+	}
+	// Rank falls in the overflow bucket: interpolate toward Max.
+	v := lower
+	if s.Overflow > 0 && s.Max > lower {
+		v += (rank - cum) / float64(s.Overflow) * (s.Max - lower)
+	}
+	return clampQuantile(v, s.Min, s.Max)
+}
+
+// clampQuantile bounds an interpolated quantile to the observed range.
+func clampQuantile(v, min, max float64) float64 {
+	if v < min {
+		return min
+	}
+	if v > max {
+		return max
+	}
+	return v
 }
 
 // Snapshot is a point-in-time copy of a registry, shaped for JSON.

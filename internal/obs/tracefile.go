@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// TraceFile is a JSONL tracer bound to a file, with transparent gzip
+// compression when the path ends in ".gz". Close flushes the JSONL
+// buffer, finishes the gzip stream and closes the file; it must run on
+// every exit path or the trailing events (and the gzip footer) are
+// lost. Gzip output is deterministic: Go's writer encodes no
+// timestamps, so equal-seed runs still produce byte-identical files.
+type TraceFile struct {
+	*JSONL
+	f  *os.File
+	gz *gzip.Writer
+}
+
+// CreateTraceFile creates (truncating) a JSONL trace file at path,
+// gzip-compressed when the name ends in ".gz".
+func CreateTraceFile(path string) (*TraceFile, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := &TraceFile{f: f}
+	if strings.HasSuffix(path, ".gz") {
+		t.gz = gzip.NewWriter(f)
+		t.JSONL = NewJSONL(t.gz)
+	} else {
+		t.JSONL = NewJSONL(f)
+	}
+	return t, nil
+}
+
+// Close flushes everything and closes the file.
+func (t *TraceFile) Close() error {
+	err := t.JSONL.Flush()
+	if t.gz != nil {
+		if e := t.gz.Close(); err == nil {
+			err = e
+		}
+	}
+	if e := t.f.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// OpenTraceReader opens a trace for reading, transparently decompressing
+// gzip. Compression is detected from the content (the 0x1f8b magic), not
+// the file name, so renamed files still read correctly.
+func OpenTraceReader(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic, err := br.Peek(2)
+	if err == nil && len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &traceReader{Reader: gz, closers: []io.Closer{gz, f}}, nil
+	}
+	// Peek errors (e.g. an empty file) surface on the first Read.
+	return &traceReader{Reader: br, closers: []io.Closer{f}}, nil
+}
+
+// traceReader pairs a decoding reader with the resources it owns.
+type traceReader struct {
+	io.Reader
+	closers []io.Closer
+}
+
+// Close closes the decompressor (if any) and the underlying file.
+func (t *traceReader) Close() error {
+	var err error
+	for _, c := range t.closers {
+		if e := c.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}

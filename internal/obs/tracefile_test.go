@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeTrace writes the sample events to path via a TraceFile and
+// returns them.
+func writeTrace(t *testing.T, path string) []Event {
+	t.Helper()
+	tf, err := CreateTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Event
+	for i, typ := range Types() {
+		e := sampleEvent(typ, i)
+		tf.Emit(e)
+		want = append(want, e)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// readTrace reads a whole trace back through OpenTraceReader.
+func readTrace(t *testing.T, path string) []Event {
+	t.Helper()
+	r, err := OpenTraceReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := ParseJSONL(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestTraceFilePlainRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	want := writeTrace(t, path)
+	if got := readTrace(t, path); !reflect.DeepEqual(got, want) {
+		t.Fatalf("plain round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestTraceFileGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gzPath := filepath.Join(dir, "trace.jsonl.gz")
+	want := writeTrace(t, gzPath)
+
+	raw, err := os.ReadFile(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf(".gz file lacks gzip magic: % x", raw[:min(4, len(raw))])
+	}
+	if got := readTrace(t, gzPath); !reflect.DeepEqual(got, want) {
+		t.Fatalf("gzip round trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Detection is by content, not name: a renamed gzip trace still
+	// reads correctly.
+	renamed := filepath.Join(dir, "renamed.jsonl")
+	if err := os.Rename(gzPath, renamed); err != nil {
+		t.Fatal(err)
+	}
+	if got := readTrace(t, renamed); !reflect.DeepEqual(got, want) {
+		t.Fatal("renamed gzip trace did not decompress")
+	}
+}
+
+// TestTraceFileGzipDeterministic: two identical event streams compress
+// to identical bytes — the property that lets the determinism test hash
+// compressed traces too.
+func TestTraceFileGzipDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl.gz")
+	b := filepath.Join(dir, "b.jsonl.gz")
+	writeTrace(t, a)
+	writeTrace(t, b)
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("identical streams compressed to different bytes")
+	}
+}
+
+func TestOpenTraceReaderEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenTraceReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	evs, err := ParseJSONL(r)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty trace: %d events, err %v", len(evs), err)
+	}
+}

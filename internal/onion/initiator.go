@@ -6,6 +6,7 @@ import (
 
 	"resilientmix/internal/metrics"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/sim"
 )
@@ -158,7 +159,7 @@ func (in *Initiator) Construct(relays []netsim.NodeID, responder netsim.NodeID, 
 	}
 	in.paths[p.SID] = p
 	msg := ConstructMsg{SID: p.SID, Onion: onionBytes, Flow: flow}
-	send(in.net, in.id, relays[0], msg, msg.WireSize(), flow)
+	send(in.net, in.id, relays[0], msg, msg.WireSize(), flow, obs.Tag{})
 	p.timer = in.eng.After(in.timeout, func() {
 		if p.State == PathConstructing {
 			p.State = PathFailed
@@ -174,6 +175,12 @@ func (in *Initiator) Construct(relays []netsim.NodeID, responder netsim.NodeID, 
 // a full construction round trip. The done callback still reports the
 // construction outcome when the ack returns.
 func (in *Initiator) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID, plain []byte, flow *metrics.Flow, done func(*Path, bool)) (*Path, error) {
+	return in.ConstructWithDataTagged(relays, responder, plain, flow, obs.Tag{}, done)
+}
+
+// ConstructWithDataTagged is ConstructWithData with a data-plane trace
+// tag stamped on the piggybacked payload's wire journey.
+func (in *Initiator) ConstructWithDataTagged(relays []netsim.NodeID, responder netsim.NodeID, plain []byte, flow *metrics.Flow, tag obs.Tag, done func(*Path, bool)) (*Path, error) {
 	if len(relays) == 0 {
 		return nil, fmt.Errorf("onion: path needs at least one relay")
 	}
@@ -212,8 +219,8 @@ func (in *Initiator) ConstructWithData(relays []netsim.NodeID, responder netsim.
 		return nil, err
 	}
 	in.paths[p.SID] = p
-	msg := ConstructDataMsg{SID: p.SID, Onion: onionBytes, Body: body, Flow: flow}
-	send(in.net, in.id, relays[0], msg, msg.WireSize(), flow)
+	msg := ConstructDataMsg{SID: p.SID, Onion: onionBytes, Body: body, Flow: flow, Trace: tag}
+	send(in.net, in.id, relays[0], msg, msg.WireSize(), flow, tag)
 	p.timer = in.eng.After(in.timeout, func() {
 		if p.State == PathConstructing {
 			p.State = PathFailed
@@ -258,6 +265,13 @@ func (in *Initiator) SendData(p *Path, plain []byte, flow *metrics.Flow) error {
 // responder, reusing the established path state (§4.4). The path must be
 // established.
 func (in *Initiator) SendDataTo(p *Path, responder netsim.NodeID, plain []byte, flow *metrics.Flow) error {
+	return in.SendDataTagged(p, responder, plain, flow, obs.Tag{})
+}
+
+// SendDataTagged is SendDataTo with a data-plane trace tag stamped on
+// the payload's wire journey, so offline analysis can follow it hop by
+// hop.
+func (in *Initiator) SendDataTagged(p *Path, responder netsim.NodeID, plain []byte, flow *metrics.Flow, tag obs.Tag) error {
 	if p.State != PathEstablished {
 		return fmt.Errorf("onion: path is %v, not established", p.State)
 	}
@@ -269,8 +283,8 @@ func (in *Initiator) SendDataTo(p *Path, responder netsim.NodeID, plain []byte, 
 	if err != nil {
 		return err
 	}
-	msg := DataMsg{SID: p.SID, Body: body, Flow: flow}
-	send(in.net, in.id, p.Relays[0], msg, msg.WireSize(), flow)
+	msg := DataMsg{SID: p.SID, Body: body, Flow: flow, Trace: tag}
+	send(in.net, in.id, p.Relays[0], msg, msg.WireSize(), flow, tag)
 	return nil
 }
 

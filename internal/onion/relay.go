@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/sim"
 )
@@ -137,11 +138,11 @@ func (r *Relay) handleConstruct(from netsim.NodeID, msg ConstructMsg) {
 	r.stats.Constructed++
 	if layer.Terminal {
 		ack := ConstructAck{SID: msg.SID, Flow: msg.Flow}
-		send(r.net, r.id, from, ack, ack.WireSize(), msg.Flow)
+		send(r.net, r.id, from, ack, ack.WireSize(), msg.Flow, obs.Tag{})
 		return
 	}
 	fwd := ConstructMsg{SID: st.nextSID, Onion: layer.Inner, Flow: msg.Flow}
-	send(r.net, r.id, layer.Next, fwd, fwd.WireSize(), msg.Flow)
+	send(r.net, r.id, layer.Next, fwd, fwd.WireSize(), msg.Flow, obs.Tag{})
 }
 
 // handleConstructData installs path state AND forwards the piggybacked
@@ -152,11 +153,13 @@ func (r *Relay) handleConstructData(from netsim.NodeID, msg ConstructDataMsg) {
 	layer, err := ParseConstructLayer(r.suite, r.priv, msg.Onion)
 	if err != nil {
 		r.stats.DroppedBad++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	pt, err := r.suite.SymOpen(layer.Key, msg.Body)
 	if err != nil {
 		r.stats.DroppedBad++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	st := &pathState{
@@ -175,6 +178,7 @@ func (r *Relay) handleConstructData(from netsim.NodeID, msg ConstructDataMsg) {
 		dest, blob, err := ParseTerminalPayload(pt)
 		if err != nil {
 			r.stats.DroppedBad++
+			emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 			return
 		}
 		if dest != st.next {
@@ -184,15 +188,15 @@ func (r *Relay) handleConstructData(from netsim.NodeID, msg ConstructDataMsg) {
 			r.reverse[st.nextSID] = st
 		}
 		r.stats.Delivered++
-		d := DeliverMsg{SID: st.nextSID, Body: blob, Flow: msg.Flow}
-		send(r.net, r.id, dest, d, d.WireSize(), msg.Flow)
+		d := DeliverMsg{SID: st.nextSID, Body: blob, Flow: msg.Flow, Trace: msg.Trace.Next()}
+		send(r.net, r.id, dest, d, d.WireSize(), msg.Flow, d.Trace)
 		ack := ConstructAck{SID: msg.SID, Flow: msg.Flow}
-		send(r.net, r.id, from, ack, ack.WireSize(), msg.Flow)
+		send(r.net, r.id, from, ack, ack.WireSize(), msg.Flow, obs.Tag{})
 		return
 	}
 	r.stats.DataRelayed++
-	fwd := ConstructDataMsg{SID: st.nextSID, Onion: layer.Inner, Body: pt, Flow: msg.Flow}
-	send(r.net, r.id, layer.Next, fwd, fwd.WireSize(), msg.Flow)
+	fwd := ConstructDataMsg{SID: st.nextSID, Onion: layer.Inner, Body: pt, Flow: msg.Flow, Trace: msg.Trace.Next()}
+	send(r.net, r.id, layer.Next, fwd, fwd.WireSize(), msg.Flow, fwd.Trace)
 }
 
 // handleConstructAck forwards an ack one hop back toward the initiator.
@@ -203,7 +207,7 @@ func (r *Relay) handleConstructAck(_ netsim.NodeID, msg ConstructAck) {
 	}
 	r.stats.AcksRelayed++
 	ack := ConstructAck{SID: st.prevSID, Flow: msg.Flow}
-	send(r.net, r.id, st.prev, ack, ack.WireSize(), msg.Flow)
+	send(r.net, r.id, st.prev, ack, ack.WireSize(), msg.Flow, obs.Tag{})
 }
 
 // handleData strips one payload layer and forwards it. At the terminal
@@ -213,23 +217,26 @@ func (r *Relay) handleConstructAck(_ netsim.NodeID, msg ConstructAck) {
 func (r *Relay) handleData(_ netsim.NodeID, msg DataMsg) {
 	st := r.lookup(r.forward, msg.SID)
 	if st == nil {
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonNoState)
 		return
 	}
 	pt, err := r.suite.SymOpen(st.key, msg.Body)
 	if err != nil {
 		r.stats.DroppedBad++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	st.expires = r.eng.Now() + r.ttl // payload refreshes the TTL (§4.3)
 	if !st.terminal {
 		r.stats.DataRelayed++
-		fwd := DataMsg{SID: st.nextSID, Body: pt, Flow: msg.Flow}
-		send(r.net, r.id, st.next, fwd, fwd.WireSize(), msg.Flow)
+		fwd := DataMsg{SID: st.nextSID, Body: pt, Flow: msg.Flow, Trace: msg.Trace.Next()}
+		send(r.net, r.id, st.next, fwd, fwd.WireSize(), msg.Flow, fwd.Trace)
 		return
 	}
 	dest, blob, err := ParseTerminalPayload(pt)
 	if err != nil {
 		r.stats.DroppedBad++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	if dest != st.next {
@@ -241,8 +248,8 @@ func (r *Relay) handleData(_ netsim.NodeID, msg DataMsg) {
 		r.reverse[st.nextSID] = st
 	}
 	r.stats.Delivered++
-	d := DeliverMsg{SID: st.nextSID, Body: blob, Flow: msg.Flow}
-	send(r.net, r.id, dest, d, d.WireSize(), msg.Flow)
+	d := DeliverMsg{SID: st.nextSID, Body: blob, Flow: msg.Flow, Trace: msg.Trace.Next()}
+	send(r.net, r.id, dest, d, d.WireSize(), msg.Flow, d.Trace)
 }
 
 // handleReverse wraps a response in this relay's symmetric layer and
@@ -260,7 +267,7 @@ func (r *Relay) handleReverse(_ netsim.NodeID, msg ReverseMsg) {
 	st.expires = r.eng.Now() + r.ttl
 	r.stats.ReverseHops++
 	rev := ReverseMsg{SID: st.prevSID, Body: wrapped, Flow: msg.Flow}
-	send(r.net, r.id, st.prev, rev, rev.WireSize(), msg.Flow)
+	send(r.net, r.id, st.prev, rev, rev.WireSize(), msg.Flow, obs.Tag{})
 }
 
 // hasReverse reports whether sid belongs to one of this relay's

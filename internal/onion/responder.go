@@ -5,6 +5,7 @@ import (
 
 	"resilientmix/internal/metrics"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/sim"
 )
@@ -79,16 +80,19 @@ func (r *Responder) handleDeliver(from netsim.NodeID, msg DeliverMsg) {
 	sealedKey, ct, err := ParseResponderBlob(msg.Body)
 	if err != nil {
 		r.dropped++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	key, err := r.suite.Open(r.priv, sealedKey)
 	if err != nil || len(key) != onioncrypt.SymKeySize {
 		r.dropped++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	plain, err := r.suite.SymOpen(key, ct)
 	if err != nil {
 		r.dropped++
+		emitRelayDropped(r.net, r.id, msg.Trace, msg.WireSize(), obs.ReasonBadLayer)
 		return
 	}
 	r.streams[msg.SID] = &respStream{relay: from, key: key, expires: r.eng.Now() + r.ttl}
@@ -125,5 +129,5 @@ func (h ReplyHandle) Reply(plain []byte, flow *metrics.Flow) bool {
 		return false
 	}
 	msg := ReverseMsg{SID: h.sid, Body: ct, Flow: flow}
-	return send(r.net, r.id, h.relay, msg, msg.WireSize(), flow)
+	return send(r.net, r.id, h.relay, msg, msg.WireSize(), flow, obs.Tag{})
 }

@@ -14,6 +14,7 @@ package onion
 import (
 	"resilientmix/internal/metrics"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/sim"
 )
 
@@ -47,6 +48,9 @@ type ConstructDataMsg struct {
 	Onion []byte
 	Body  []byte
 	Flow  *metrics.Flow
+	// Trace is the data-plane correlation tag; each relay forwards it
+	// advanced one hop. Trace metadata only — never protocol input.
+	Trace obs.Tag
 }
 
 // WireSize returns the on-the-wire size.
@@ -69,6 +73,8 @@ type DataMsg struct {
 	SID  StreamID
 	Body []byte
 	Flow *metrics.Flow
+	// Trace is the data-plane correlation tag; see ConstructDataMsg.
+	Trace obs.Tag
 }
 
 // WireSize returns the on-the-wire size.
@@ -80,6 +86,8 @@ type DeliverMsg struct {
 	SID  StreamID
 	Body []byte
 	Flow *metrics.Flow
+	// Trace is the data-plane correlation tag; see ConstructDataMsg.
+	Trace obs.Tag
 }
 
 // WireSize returns the on-the-wire size.
@@ -99,13 +107,34 @@ type ReverseMsg struct {
 func (m ReverseMsg) WireSize() int { return msgHeaderSize + 4 + len(m.Body) }
 
 // send transmits a payload and charges its size to the flow if it was
-// actually placed on the wire.
-func send(net *netsim.Network, from, to netsim.NodeID, payload any, size int, flow *metrics.Flow) bool {
-	if net.Send(from, to, netsim.Message{Payload: payload, Size: size}) {
+// actually placed on the wire. tag is the data-plane correlation tag
+// stamped on the wire message (zero for untagged traffic).
+func send(net *netsim.Network, from, to netsim.NodeID, payload any, size int, flow *metrics.Flow, tag obs.Tag) bool {
+	if net.Send(from, to, netsim.Message{Payload: payload, Size: size, Trace: tag}) {
 		flow.Add(size)
 		return true
 	}
 	return false
+}
+
+// emitRelayDropped records a tagged data-plane message consumed above
+// the wire — a relay or responder that could not process it. Without
+// this event the message's causal chain would end at a MsgDelivered
+// with no explanation. Untagged messages are not recorded: their drops
+// are already aggregated in relay stats.
+func emitRelayDropped(net *netsim.Network, node netsim.NodeID, tag obs.Tag, size int, reason obs.Reason) {
+	if tag.ID == 0 {
+		return
+	}
+	tr := net.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{
+		Type: obs.RelayDropped, At: int64(net.Engine().Now()),
+		Node: int(node), Peer: -1, ID: tag.ID, Seq: int64(tag.Seg),
+		Slot: int(tag.Slot), Hop: int(tag.Hop), Size: size, Reason: reason,
+	})
 }
 
 // pathState is one relay's cached tuple for a stream:

@@ -145,6 +145,7 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 		e.tracer.Emit(obs.Event{
 			Type: obs.EventScheduled, At: int64(e.now),
 			Node: -1, Peer: -1, ID: e.seq, Seq: int64(at),
+			Slot: -1, Hop: -1,
 		})
 	}
 	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
@@ -215,7 +216,7 @@ func (e *Engine) Run(until Time) Time {
 		if e.tracer != nil {
 			e.tracer.Emit(obs.Event{
 				Type: obs.EventFired, At: int64(next.at),
-				Node: -1, Peer: -1, ID: next.seq,
+				Node: -1, Peer: -1, ID: next.seq, Slot: -1, Hop: -1,
 			})
 		}
 		next.fn()
@@ -236,7 +237,7 @@ func (e *Engine) RunAll() Time {
 		if e.tracer != nil {
 			e.tracer.Emit(obs.Event{
 				Type: obs.EventFired, At: int64(next.at),
-				Node: -1, Peer: -1, ID: next.seq,
+				Node: -1, Peer: -1, ID: next.seq, Slot: -1, Hop: -1,
 			})
 		}
 		next.fn()

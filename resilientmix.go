@@ -11,6 +11,7 @@ import (
 	"resilientmix/internal/mixchoice"
 	"resilientmix/internal/netsim"
 	"resilientmix/internal/obs"
+	"resilientmix/internal/obs/analyze"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/predictor"
 	"resilientmix/internal/sim"
@@ -233,6 +234,59 @@ type NoopTracer = obs.Noop
 // ParseTrace reads back a JSONL trace written by a TraceWriter.
 var ParseTrace = obs.ParseJSONL
 
+// TraceCollector keeps every emitted event in memory, for in-process
+// analysis with AnalyzeTrace.
+type TraceCollector = obs.Collector
+
+// NewTraceCollector returns an empty in-memory trace collector.
+func NewTraceCollector() *TraceCollector { return obs.NewCollector() }
+
+// TraceFile is a JSONL trace sink on disk; paths ending in ".gz" are
+// transparently gzip-compressed.
+type TraceFile = obs.TraceFile
+
+// CreateTraceFile opens a trace sink at path (gzip when the path ends
+// in ".gz"); call Close when the run ends.
+var CreateTraceFile = obs.CreateTraceFile
+
+// OpenTraceReader opens a trace written by CreateTraceFile for
+// reading, transparently decompressing gzip (detected by content, not
+// extension).
+var OpenTraceReader = obs.OpenTraceReader
+
+// TraceAnalysis is the result of offline trace analytics: per-stream
+// causal timelines, latency attribution and anonymity observables. See
+// internal/obs/analyze and cmd/anontrace.
+type TraceAnalysis = analyze.Result
+
+// TraceAnalysisSummary is the analysis block of a trace analysis and
+// of v2 run reports: stream accounting, integrity findings, latency
+// attribution, anonymity observables.
+type TraceAnalysisSummary = obs.AnalysisSummary
+
+// AnalyzeTrace reconstructs every tagged message stream from an
+// in-memory trace.
+var AnalyzeTrace = analyze.FromEvents
+
+// AnalyzeTraceFile analyzes a JSONL trace file (plain or gzip).
+var AnalyzeTraceFile = analyze.ReadFile
+
+// ReconcileAnalysis cross-checks a trace analysis against a run
+// report's registry aggregates; it returns one description per
+// mismatch, empty when the two views agree exactly.
+var ReconcileAnalysis = analyze.Reconcile
+
+// DiffThresholds bound how much a candidate report may regress from a
+// baseline before DiffRunReports flags it.
+type DiffThresholds = analyze.Thresholds
+
+// DefaultDiffThresholds is the loose CI gate used by anontrace diff.
+var DefaultDiffThresholds = analyze.DefaultThresholds
+
+// DiffRunReports compares two run reports under thresholds, returning
+// one violation per crossed limit.
+var DiffRunReports = analyze.DiffReports
+
 // MetricsRegistry is a named collection of counters, gauges and
 // histograms; worlds record run aggregates into one.
 type MetricsRegistry = obs.Registry
@@ -243,6 +297,10 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // RunReport is the machine-readable outcome of one run, written by the
 // -report flag of cmd/anonsim and cmd/anonbench.
 type RunReport = obs.Report
+
+// RunReportSchemaVersion is the report schema version this build
+// writes (v2: percentiles and trace-analysis blocks).
+const RunReportSchemaVersion = obs.ReportSchemaVersion
 
 // ReadRunReport parses a report written with RunReport.WriteJSON.
 var ReadRunReport = obs.ReadReport

@@ -119,6 +119,60 @@ func TestTracingDoesNotPerturbSimulation(t *testing.T) {
 	}
 }
 
+// TestTraceTaggedDataPlane checks the data-plane tagging contract:
+// segment sends carry their path-slot, tagged wire events carry
+// slot and hop depth (untagged background traffic stays slot/hop -1),
+// and the offline analyzer reconstructs the tagged streams with zero
+// integrity errors while reconciling exactly with the registry.
+func TestTraceTaggedDataPlane(t *testing.T) {
+	col := rm.NewTraceCollector()
+	reg := rm.NewMetricsRegistry()
+	tracedScenario(t, 21, 0.03, col, reg)
+
+	var segSends, taggedWire, untaggedWire int
+	maxHop := -1
+	for _, e := range col.Events() {
+		switch e.Type {
+		case obs.SegmentSent:
+			segSends++
+			if e.ID == 0 || e.Slot < 0 || e.Hop != -1 {
+				t.Fatalf("segment_sent missing tag fields: %+v", e)
+			}
+		case obs.MsgSent, obs.MsgDelivered, obs.MsgDropped:
+			if e.ID != 0 && e.Slot >= 0 && e.Hop >= 0 {
+				taggedWire++
+				if e.Hop > maxHop {
+					maxHop = e.Hop
+				}
+			} else {
+				untaggedWire++
+				if e.Slot != -1 || e.Hop != -1 {
+					t.Fatalf("untagged wire event with slot/hop set: %+v", e)
+				}
+			}
+		}
+	}
+	if segSends == 0 || taggedWire == 0 {
+		t.Fatalf("no tagged data-plane traffic (%d segment sends, %d tagged wire events)", segSends, taggedWire)
+	}
+	if untaggedWire == 0 {
+		t.Fatal("no untagged background traffic; construction/ack traffic should stay untagged")
+	}
+	if maxHop < 1 {
+		t.Fatalf("tagged hop depth never advanced past %d; relays are not stamping Tag.Next()", maxHop)
+	}
+
+	res := rm.AnalyzeTrace(col.Events())
+	if res.Summary.IntegrityErrors != 0 {
+		t.Fatalf("%d integrity errors:\n%v", res.Summary.IntegrityErrors, res.Summary.IntegrityDetails)
+	}
+	snap := reg.Snapshot()
+	rep := &rm.RunReport{Metrics: &snap}
+	if problems := rm.ReconcileAnalysis(res, rep); len(problems) != 0 {
+		t.Fatalf("analysis does not reconcile with the registry:\n%v", problems)
+	}
+}
+
 // TestTraceReconcilesWithRegistry checks the -report contract: the
 // drop-reason counters the report is built from must match the
 // MsgDropped events in the trace exactly, reason by reason, and the
