@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro repro-quick fuzz cover examples profile trace analyze clean
+.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze clean
 
 all: build test
 
@@ -21,6 +21,17 @@ race:
 # plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Refresh the committed machine-readable benchmark baseline
+# (BENCH_PR4.json) after a deliberate performance change. See
+# DESIGN.md "Performance" for how to read the file.
+bench-json:
+	$(GO) run ./cmd/anonbench -bench-json BENCH_PR4.json
+
+# Gate the working tree against the committed baseline; exits 1 when
+# any headline metric regresses by more than 20%.
+bench-check:
+	$(GO) run ./cmd/anonbench -bench-baseline BENCH_PR4.json
 
 # Full paper-scale reproduction of every table/figure + extensions,
 # with CSV exports for plotting. anonbench also takes -trace/-report/

@@ -23,18 +23,21 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment(s) to run, comma-separated (fig1..fig5, tab1..tab4, ext1..ext9)")
-		all    = flag.Bool("all", false, "run every experiment in order")
-		list   = flag.Bool("list", false, "list available experiments")
-		quick  = flag.Bool("quick", false, "reduced scale: smaller network, fewer trials, shorter runs")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		out     = flag.String("o", "", "write results to this file instead of stdout")
-		csvDir  = flag.String("csv", "", "also write one CSV file per experiment into this directory")
-		traceP  = flag.String("trace", "", "write a JSONL event trace of every simulated world to this file, gzip when it ends in .gz (interleaved across parallel workers; use anonsim for a deterministic single-world trace)")
-		reportP = flag.String("report", "", "write an aggregate JSON run report to this file")
-		analyzeF = flag.Bool("analyze", false, "run offline trace analytics per experiment and append the digest to each result (aggregate summary lands in the report)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		expID     = flag.String("exp", "", "experiment(s) to run, comma-separated (fig1..fig5, tab1..tab4, ext1..ext9)")
+		all       = flag.Bool("all", false, "run every experiment in order")
+		list      = flag.Bool("list", false, "list available experiments")
+		quick     = flag.Bool("quick", false, "reduced scale: smaller network, fewer trials, shorter runs")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		out       = flag.String("o", "", "write results to this file instead of stdout")
+		csvDir    = flag.String("csv", "", "also write one CSV file per experiment into this directory")
+		traceP    = flag.String("trace", "", "write a JSONL event trace of every simulated world to this file, gzip when it ends in .gz (interleaved across parallel workers; use anonsim for a deterministic single-world trace)")
+		reportP   = flag.String("report", "", "write an aggregate JSON run report to this file")
+		analyzeF  = flag.Bool("analyze", false, "run offline trace analytics per experiment and append the digest to each result (aggregate summary lands in the report)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		benchJSON = flag.String("bench-json", "", "run the headline micro-benchmarks and write a machine-readable report to this file (experiments, if also requested, contribute ungated wall times)")
+		benchBase = flag.String("bench-baseline", "", "compare the micro-benchmark report against this committed baseline and exit 1 on regression (implies the benchmarks run even without -bench-json)")
+		benchTol  = flag.Float64("bench-tolerance", 0.20, "relative regression tolerance for -bench-baseline gating")
 	)
 	flag.Parse()
 
@@ -44,8 +47,9 @@ func main() {
 		}
 		return
 	}
-	if !*all && *expID == "" {
-		fmt.Fprintln(os.Stderr, "anonbench: need -exp <id> or -all (use -list to see experiments)")
+	benchMode := *benchJSON != "" || *benchBase != ""
+	if !*all && *expID == "" && !benchMode {
+		fmt.Fprintln(os.Stderr, "anonbench: need -exp <id>, -all, or -bench-json/-bench-baseline (use -list to see experiments)")
 		os.Exit(2)
 	}
 
@@ -85,7 +89,10 @@ func main() {
 	opts := rm.ExperimentOptions{Seed: *seed, Quick: *quick, Tracer: tr, Metrics: reg, Analyze: *analyzeF}
 	ids := rm.ExperimentIDs()
 	if !*all {
-		ids = strings.Split(*expID, ",")
+		ids = nil
+		if *expID != "" {
+			ids = strings.Split(*expID, ",")
+		}
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -156,6 +163,38 @@ func main() {
 	}
 	if err := stopProf(); err != nil {
 		fatal(err)
+	}
+
+	if benchMode {
+		fmt.Fprintln(os.Stderr, "[running micro-benchmarks]")
+		rep := rm.RunPerfBench()
+		// Quick-mode experiment wall times ride along as ungated info.
+		for k, v := range outcome {
+			if strings.HasSuffix(k, ".wall_seconds") {
+				rep.Info["info."+strings.TrimSuffix(k, ".wall_seconds")+".wall_seconds"] = v
+			}
+		}
+		if *benchJSON != "" {
+			if err := rep.WriteFile(*benchJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "[benchmark report written to %s]\n", *benchJSON)
+		}
+		if *benchBase != "" {
+			base, err := rm.ReadPerfReport(*benchBase)
+			if err != nil {
+				fatal(err)
+			}
+			regs := rm.ComparePerfReports(base, rep, *benchTol)
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "anonbench: %d benchmark regression(s) beyond %.0f%% vs %s:\n", len(regs), *benchTol*100, *benchBase)
+				for _, g := range regs {
+					fmt.Fprintln(os.Stderr, "  ", g)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[benchmarks within %.0f%% of %s]\n", *benchTol*100, *benchBase)
+		}
 	}
 }
 

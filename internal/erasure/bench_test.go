@@ -1,0 +1,100 @@
+// Micro-benchmarks for the erasure hot paths: non-systematic encode
+// (the parity rows of Split), non-systematic decode (Reconstruct from
+// parity segments, exercising the decoding-matrix path), and the
+// systematic fast path. These are the numbers BENCH_PR4.json tracks;
+// cmd/anonbench -bench-json runs the same shapes via internal/perfbench.
+package erasure
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchShapes are the (m, n) pairs tracked in the perf baseline: the
+// paper's SimEra(4,4) split at r=2, a wider r=4 code, and a large code.
+var benchShapes = []struct{ m, n int }{
+	{4, 8},
+	{5, 20},
+	{16, 32},
+}
+
+const benchMsgLen = 4 * 1024
+
+func benchMsg() []byte {
+	msg := make([]byte, benchMsgLen)
+	for i := range msg {
+		msg[i] = byte(i * 131)
+	}
+	return msg
+}
+
+// BenchmarkErasureEncode measures Split throughput, dominated by the
+// n-m parity rows (the non-systematic half of the code).
+func BenchmarkErasureEncode(b *testing.B) {
+	for _, s := range benchShapes {
+		b.Run(fmt.Sprintf("m%d_n%d", s.m, s.n), func(b *testing.B) {
+			code, err := New(s.m, s.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			msg := benchMsg()
+			b.SetBytes(benchMsgLen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := code.Split(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkErasureDecodeNonSystematic measures Reconstruct from the
+// last m (all-parity) segments, forcing the decoding-matrix path on
+// every iteration — the worst case under churn, where the systematic
+// segments' paths have died.
+func BenchmarkErasureDecodeNonSystematic(b *testing.B) {
+	for _, s := range benchShapes {
+		b.Run(fmt.Sprintf("m%d_n%d", s.m, s.n), func(b *testing.B) {
+			code, err := New(s.m, s.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			segs, err := code.Split(benchMsg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			parity := segs[s.n-s.m:]
+			b.SetBytes(benchMsgLen)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := code.Reconstruct(parity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkErasureDecodeSystematic measures the systematic fast path:
+// segments 0..m-1 present, no matrix work at all.
+func BenchmarkErasureDecodeSystematic(b *testing.B) {
+	code, err := New(5, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	segs, err := code.Split(benchMsg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchMsgLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Reconstruct(segs[:5]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"resilientmix/internal/gf256"
 )
@@ -45,18 +46,56 @@ type Segment struct {
 }
 
 // Code is a reusable (m, n) erasure code: n coded segments, any m of
-// which suffice. A Code is immutable after New and safe for concurrent
-// use.
+// which suffice. The coding matrix is immutable after New; the decode
+// cache behind Reconstruct is internally locked, so a Code is safe for
+// concurrent use.
 type Code struct {
 	m, n   int
 	matrix *gf256.Matrix // n x m systematic coding matrix
+
+	// decMu guards dec, an LRU of inverted decoding matrices keyed by
+	// the sorted row set chosen for reconstruction. Under churn the
+	// same few row sets recur for every lost-segment pattern, and
+	// re-inverting the matrix dominated non-systematic Reconstruct.
+	decMu sync.Mutex
+	dec   *lruCache
 }
 
+// decCacheCap bounds the per-Code cache of inverted decoding matrices.
+// C(n, m) can be astronomical, but a session under churn sees only the
+// handful of row sets its current path mix produces.
+const decCacheCap = 32
+
+// codeCacheCap bounds the package-level (m, n) -> *Code cache. Shapes
+// arrive from wire headers in livenet, so the cache must not grow
+// without bound under adversarial input.
+const codeCacheCap = 64
+
+var (
+	codesMu sync.Mutex
+	codes   = newLRU(codeCacheCap)
+)
+
 // New returns an (m, n) code. Requires 1 <= m <= n <= MaxSegments.
+//
+// Codes are cached: New returns the same *Code for the same (m, n),
+// so the Vandermonde construction and systematic inversion run once
+// per shape and the decoding-matrix cache persists across the
+// per-message New calls on the receive path.
 func New(m, n int) (*Code, error) {
 	if m < 1 || n < m || n > MaxSegments {
 		return nil, fmt.Errorf("erasure: invalid parameters m=%d n=%d (need 1 <= m <= n <= %d)", m, n, MaxSegments)
 	}
+	key := string([]byte{byte(m), byte(n - m)})
+	codesMu.Lock()
+	if c, ok := codes.get(key); ok {
+		codesMu.Unlock()
+		return c.(*Code), nil
+	}
+	codesMu.Unlock()
+
+	// Build outside the lock: construction is O(n*m^2) and must not
+	// serialize unrelated shapes.
 	v := gf256.Vandermonde(n, m)
 	top := v.SubMatrix(seq(m))
 	topInv, err := top.Invert()
@@ -65,7 +104,17 @@ func New(m, n int) (*Code, error) {
 		// distinct points are always invertible.
 		return nil, fmt.Errorf("erasure: building systematic matrix: %w", err)
 	}
-	return &Code{m: m, n: n, matrix: v.Mul(topInv)}, nil
+	c := &Code{m: m, n: n, matrix: v.Mul(topInv), dec: newLRU(decCacheCap)}
+
+	codesMu.Lock()
+	defer codesMu.Unlock()
+	if prev, ok := codes.get(key); ok {
+		// Another goroutine built the same shape first; keep one so
+		// its decode cache stays shared.
+		return prev.(*Code), nil
+	}
+	codes.put(key, c)
+	return c, nil
 }
 
 // NewReplication returns the replication code with factor r: r segments,
@@ -92,32 +141,55 @@ func (c *Code) SegmentSize(msgLen int) int {
 // Split erasure-codes msg into n segments of equal length
 // SegmentSize(len(msg)). The message is length-prefixed and zero-padded
 // to a multiple of m before encoding.
+//
+// All n segments are disjoint, capacity-limited views into one backing
+// buffer: writing a segment's bytes in place never affects another
+// segment, and appending to one forces reallocation rather than
+// silently overwriting its neighbour.
 func (c *Code) Split(msg []byte) ([]Segment, error) {
+	return c.SplitInto(msg, nil)
+}
+
+// SplitInto is Split with a caller-provided backing buffer for the
+// coded segments, for hot loops that encode repeatedly and can recycle
+// the previous round's buffer. buf needs N()*SegmentSize(len(msg))
+// bytes of capacity; when it is nil or too small a fresh buffer is
+// allocated. Reusing buf invalidates the segments of the previous call
+// that used it.
+func (c *Code) SplitInto(msg, buf []byte) ([]Segment, error) {
 	if len(msg) > int(^uint32(0))-lenPrefix {
 		return nil, errors.New("erasure: message too large")
 	}
 	shard := c.SegmentSize(len(msg))
-	buf := make([]byte, c.m*shard)
+	need := c.n * shard
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
+	// The first m shards are the systematic data: length prefix,
+	// message, zero padding.
 	binary.BigEndian.PutUint32(buf, uint32(len(msg)))
-	copy(buf[lenPrefix:], msg)
-
-	// Data shards are views into buf.
-	shards := make([][]byte, c.m)
-	for i := range shards {
-		shards[i] = buf[i*shard : (i+1)*shard]
+	n := copy(buf[lenPrefix:c.m*shard], msg)
+	tail := buf[lenPrefix+n : c.m*shard]
+	for i := range tail {
+		tail[i] = 0
 	}
 
 	segs := make([]Segment, c.n)
 	for i := 0; i < c.n; i++ {
-		row := c.matrix.Row(i)
-		if i < c.m {
-			// Systematic rows: the segment is the data shard itself.
-			segs[i] = Segment{Index: i, Data: shards[i]}
-			continue
-		}
-		out := make([]byte, shard)
-		for j, coef := range row {
-			gf256.MulAddSlice(out, shards[j], coef)
+		out := buf[i*shard : (i+1)*shard : (i+1)*shard]
+		if i >= c.m {
+			// Parity rows: accumulate coef * data shard j. The data
+			// shards and out are disjoint regions of buf; the j == 0
+			// pass overwrites, so a recycled buffer needs no clearing.
+			for j, coef := range c.matrix.Row(i) {
+				if j == 0 {
+					gf256.MulSlice(out, buf[:shard], coef)
+				} else {
+					gf256.MulAddSlice(out, buf[j*shard:(j+1)*shard], coef)
+				}
+			}
 		}
 		segs[i] = Segment{Index: i, Data: out}
 	}
@@ -129,7 +201,7 @@ func (c *Code) Split(msg []byte) ([]Segment, error) {
 // duplicate indices are ignored.
 func (c *Code) Reconstruct(segs []Segment) ([]byte, error) {
 	chosen := make([]Segment, 0, c.m)
-	seen := make(map[int]bool, c.m)
+	var seen [MaxSegments]bool
 	shard := -1
 	for _, s := range segs {
 		if s.Index < 0 || s.Index >= c.n {
@@ -153,6 +225,13 @@ func (c *Code) Reconstruct(segs []Segment) ([]byte, error) {
 		return nil, fmt.Errorf("%w: have %d distinct, need %d", ErrNotEnoughSegments, len(chosen), c.m)
 	}
 
+	// Sort the chosen segments by index. The decoded message is
+	// independent of segment order (permuting rows of the system
+	// permutes nothing in the solution), and a canonical order lets
+	// every arrival order of the same row set share one cached
+	// decoding matrix.
+	sortByIndex(chosen)
+
 	data := make([]byte, c.m*shard)
 	if systematic(chosen, c.m) {
 		// Fast path: segments 0..m-1 are the data shards verbatim.
@@ -160,13 +239,9 @@ func (c *Code) Reconstruct(segs []Segment) ([]byte, error) {
 			copy(data[s.Index*shard:], s.Data)
 		}
 	} else {
-		rows := make([]int, c.m)
-		for i, s := range chosen {
-			rows[i] = s.Index
-		}
-		dec, err := c.matrix.SubMatrix(rows).Invert()
+		dec, err := c.decodeMatrix(chosen)
 		if err != nil {
-			return nil, fmt.Errorf("erasure: decoding matrix: %w", err)
+			return nil, err
 		}
 		for i := 0; i < c.m; i++ {
 			out := data[i*shard : (i+1)*shard]
@@ -184,6 +259,54 @@ func (c *Code) Reconstruct(segs []Segment) ([]byte, error) {
 		return nil, fmt.Errorf("%w: embedded length %d exceeds decoded data", ErrSegmentMismatch, msgLen)
 	}
 	return data[lenPrefix : lenPrefix+int(msgLen)], nil
+}
+
+// decodeMatrix returns the inverted decoding matrix for the chosen
+// (index-sorted) segments, from the per-Code LRU when the same row set
+// has been seen before. The returned matrix is shared and must be
+// treated as read-only.
+func (c *Code) decodeMatrix(chosen []Segment) (*gf256.Matrix, error) {
+	var kb [MaxSegments]byte
+	for i, s := range chosen {
+		kb[i] = byte(s.Index)
+	}
+	key := string(kb[:len(chosen)])
+
+	c.decMu.Lock()
+	if dec, ok := c.dec.get(key); ok {
+		c.decMu.Unlock()
+		return dec.(*gf256.Matrix), nil
+	}
+	c.decMu.Unlock()
+
+	// Invert outside the lock; inversion is O(m^3) and two goroutines
+	// racing on the same key converge to identical matrices.
+	rows := make([]int, len(chosen))
+	for i, s := range chosen {
+		rows[i] = s.Index
+	}
+	dec, err := c.matrix.SubMatrix(rows).Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decoding matrix: %w", err)
+	}
+	c.decMu.Lock()
+	c.dec.put(key, dec)
+	c.decMu.Unlock()
+	return dec, nil
+}
+
+// sortByIndex insertion-sorts segments by index; m is small enough
+// that this beats sort.Slice and allocates nothing.
+func sortByIndex(segs []Segment) {
+	for i := 1; i < len(segs); i++ {
+		s := segs[i]
+		j := i - 1
+		for j >= 0 && segs[j].Index > s.Index {
+			segs[j+1] = segs[j]
+			j--
+		}
+		segs[j+1] = s
+	}
 }
 
 // systematic reports whether the chosen segments are exactly indices

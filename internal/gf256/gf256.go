@@ -8,6 +8,11 @@
 // and invert Vandermonde coding matrices.
 package gf256
 
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
 // Poly is the primitive polynomial used to generate the field,
 // x^8 + x^4 + x^3 + x^2 + 1, expressed with the x^8 term included.
 const Poly = 0x11d
@@ -97,9 +102,107 @@ func Pow(a byte, n int) byte {
 	return expTable[(int(logTable[a])*n)%(Order-1)]
 }
 
+// mulTables caches, per coefficient c, the 256-entry product table
+// t[x] = c*x. A table is built lazily the first time a coefficient is
+// used and shared by every goroutine thereafter; the full set costs
+// 64 KiB. Coding matrices reuse a small set of coefficients, so in
+// practice only a handful of rows ever materialize.
+var mulTables [Order]atomic.Pointer[[Order]byte]
+
+// mulTable returns the product table for c, building it on first use.
+// Two goroutines may race to build the same table; both produce
+// identical contents, so last-store-wins is harmless.
+func mulTable(c byte) *[Order]byte {
+	if t := mulTables[c].Load(); t != nil {
+		return t
+	}
+	t := new([Order]byte)
+	lc := int(logTable[c])
+	for x := 1; x < Order; x++ {
+		t[x] = expTable[lc+int(logTable[x])]
+	}
+	mulTables[c].Store(t)
+	return t
+}
+
 // MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
-// same length; they may alias. A zero or one coefficient takes fast paths.
+// same length; dst may be the same slice as src (in-place scaling), but
+// the slices must not otherwise overlap. A zero or one coefficient takes
+// fast paths.
 func MulSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case 1:
+		copy(dst, src)
+	default:
+		if mulSliceSIMD(dst, src, c) {
+			return
+		}
+		t := mulTable(c)
+		n := len(src) &^ 7
+		for i := 0; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			v := uint64(t[s[0]]) | uint64(t[s[1]])<<8 |
+				uint64(t[s[2]])<<16 | uint64(t[s[3]])<<24 |
+				uint64(t[s[4]])<<32 | uint64(t[s[5]])<<40 |
+				uint64(t[s[6]])<<48 | uint64(t[s[7]])<<56
+			binary.LittleEndian.PutUint64(dst[i:], v)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] = t[src[i]]
+		}
+	}
+}
+
+// MulAddSlice sets dst[i] ^= c * src[i] for all i — the fused
+// multiply-accumulate at the heart of Reed–Solomon encoding. dst and src
+// must have the same length and must not alias unless c is zero.
+func MulAddSlice(dst, src []byte, c byte) {
+	if len(dst) != len(src) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		n := len(src) &^ 7
+		for i := 0; i < n; i += 8 {
+			v := binary.LittleEndian.Uint64(dst[i:]) ^ binary.LittleEndian.Uint64(src[i:])
+			binary.LittleEndian.PutUint64(dst[i:], v)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] ^= src[i]
+		}
+	default:
+		if mulAddSliceSIMD(dst, src, c) {
+			return
+		}
+		t := mulTable(c)
+		n := len(src) &^ 7
+		for i := 0; i < n; i += 8 {
+			s := src[i : i+8 : i+8]
+			v := uint64(t[s[0]]) | uint64(t[s[1]])<<8 |
+				uint64(t[s[2]])<<16 | uint64(t[s[3]])<<24 |
+				uint64(t[s[4]])<<32 | uint64(t[s[5]])<<40 |
+				uint64(t[s[6]])<<48 | uint64(t[s[7]])<<56
+			binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^v)
+		}
+		for i := n; i < len(src); i++ {
+			dst[i] ^= t[src[i]]
+		}
+	}
+}
+
+// mulSliceRef is the original byte-at-a-time log/exp implementation of
+// MulSlice, kept as the reference oracle for the differential and fuzz
+// tests of the word-wide kernels above.
+func mulSliceRef(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulSlice length mismatch")
 	}
@@ -122,10 +225,9 @@ func MulSlice(dst, src []byte, c byte) {
 	}
 }
 
-// MulAddSlice sets dst[i] ^= c * src[i] for all i — the fused
-// multiply-accumulate at the heart of Reed–Solomon encoding. dst and src
-// must have the same length and must not alias unless c is zero.
-func MulAddSlice(dst, src []byte, c byte) {
+// mulAddSliceRef is the original byte-at-a-time log/exp implementation
+// of MulAddSlice, kept as the reference oracle for differential tests.
+func mulAddSliceRef(dst, src []byte, c byte) {
 	if len(dst) != len(src) {
 		panic("gf256: MulAddSlice length mismatch")
 	}

@@ -1,0 +1,84 @@
+//go:build amd64 && !purego
+
+package gf256
+
+import "sync/atomic"
+
+// The SIMD fast path splits every source byte into nibbles and resolves
+// each through a 16-entry product table held in an XMM register with
+// PSHUFB — 16 multiplies per shuffle, the standard technique for
+// GF(2^8) slice kernels. It needs SSSE3, detected once at init; every
+// amd64 CPU since ~2007 has it, but the word-wide Go loop remains as
+// the fallback (and as the build for other architectures).
+var useSIMD = cpuHasSSSE3()
+
+// nibTables caches, per coefficient c, the 32-byte nibble table pair
+// {lo[i] = c*i, hi[i] = c*(i<<4)} consumed by the PSHUFB kernels.
+var nibTables [Order]atomic.Pointer[[32]byte]
+
+func nibTable(c byte) *[32]byte {
+	if t := nibTables[c].Load(); t != nil {
+		return t
+	}
+	t := new([32]byte)
+	for i := 0; i < 16; i++ {
+		t[i] = Mul(c, byte(i))
+		t[16+i] = Mul(c, byte(i<<4))
+	}
+	nibTables[c].Store(t)
+	return t
+}
+
+// mulAddNibbles is the scalar tail companion of the PSHUFB kernels:
+// one byte through the same nibble tables.
+func mulAddNibbles(t *[32]byte, s byte) byte {
+	return t[s&0x0f] ^ t[16+(s>>4)]
+}
+
+// mulSliceSIMD implements MulSlice's general case; returns false when
+// the SIMD path is unavailable so the caller falls back to the
+// word-wide loop.
+func mulSliceSIMD(dst, src []byte, c byte) bool {
+	if !useSIMD || len(src) < 16 {
+		return false
+	}
+	t := nibTable(c)
+	nb := len(src) / 16
+	mulVec16(t, &dst[0], &src[0], nb)
+	for i := nb * 16; i < len(src); i++ {
+		dst[i] = mulAddNibbles(t, src[i])
+	}
+	return true
+}
+
+// mulAddSliceSIMD implements MulAddSlice's general case; returns false
+// when the SIMD path is unavailable.
+func mulAddSliceSIMD(dst, src []byte, c byte) bool {
+	if !useSIMD || len(src) < 16 {
+		return false
+	}
+	t := nibTable(c)
+	nb := len(src) / 16
+	mulAddVec16(t, &dst[0], &src[0], nb)
+	for i := nb * 16; i < len(src); i++ {
+		dst[i] ^= mulAddNibbles(t, src[i])
+	}
+	return true
+}
+
+// cpuid1ecx returns ECX of CPUID leaf 1 (feature flags; SSSE3 = bit 9).
+func cpuid1ecx() uint32
+
+func cpuHasSSSE3() bool { return cpuid1ecx()&(1<<9) != 0 }
+
+// mulVec16 sets dst[0:16n] = c * src[0:16n] using the nibble table
+// pair for c, 16 bytes per step. Implemented in kernels_amd64.s.
+//
+//go:noescape
+func mulVec16(tab *[32]byte, dst, src *byte, n int)
+
+// mulAddVec16 sets dst[0:16n] ^= c * src[0:16n] using the nibble table
+// pair for c. Implemented in kernels_amd64.s.
+//
+//go:noescape
+func mulAddVec16(tab *[32]byte, dst, src *byte, n int)

@@ -1,0 +1,93 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// GF(2^8) slice kernels via PSHUFB nibble lookup (SSSE3).
+//
+// For each 16-byte block X of src:
+//	lo = PSHUFB(tabLo, X & 0x0f)        // products of the low nibbles
+//	hi = PSHUFB(tabHi, (X >> 4) & 0x0f) // products of the high nibbles
+//	c*X = lo ^ hi
+// because c*x = c*(x&0x0f) ^ c*(x&0xf0) by linearity of the field.
+//
+// Register use:
+//	SI = src cursor, DI = dst cursor, CX = remaining blocks
+//	X6 = tabLo, X7 = tabHi, X5 = 0x0f byte mask
+
+// func cpuid1ecx() uint32
+TEXT ·cpuid1ecx(SB), NOSPLIT, $0-4
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, ret+0(FP)
+	RET
+
+// func mulVec16(tab *[32]byte, dst, src *byte, n int)
+TEXT ·mulVec16(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  dst+8(FP), DI
+	MOVQ  src+16(FP), SI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X6
+	MOVOU 16(AX), X7
+	MOVQ  $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ  DX, X5
+	PUNPCKLQDQ X5, X5
+
+mulloop:
+	TESTQ CX, CX
+	JZ    muldone
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PAND  X5, X0
+	PSRLW $4, X1
+	PAND  X5, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU X2, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	DECQ  CX
+	JMP   mulloop
+
+muldone:
+	RET
+
+// func mulAddVec16(tab *[32]byte, dst, src *byte, n int)
+TEXT ·mulAddVec16(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  dst+8(FP), DI
+	MOVQ  src+16(FP), SI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X6
+	MOVOU 16(AX), X7
+	MOVQ  $0x0f0f0f0f0f0f0f0f, DX
+	MOVQ  DX, X5
+	PUNPCKLQDQ X5, X5
+
+addloop:
+	TESTQ CX, CX
+	JZ    adddone
+	MOVOU (SI), X0
+	MOVOU X0, X1
+	PAND  X5, X0
+	PSRLW $4, X1
+	PAND  X5, X1
+	MOVOU X6, X2
+	MOVOU X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (DI), X4
+	PXOR  X2, X4
+	MOVOU X4, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	DECQ  CX
+	JMP   addloop
+
+adddone:
+	RET

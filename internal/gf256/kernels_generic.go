@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// Non-amd64 builds (and -tags purego) always take the word-wide Go
+// kernels; these stubs keep the dispatch sites in gf256.go portable.
+
+func mulSliceSIMD(dst, src []byte, c byte) bool    { return false }
+func mulAddSliceSIMD(dst, src []byte, c byte) bool { return false }

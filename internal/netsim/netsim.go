@@ -74,9 +74,9 @@ type Stats struct {
 // sites, which is what lets a run report's drop breakdown reconcile
 // byte-for-byte with its JSONL trace.
 type netMetrics struct {
-	sent, delivered, bytes                         *obs.Counter
+	sent, delivered, bytes                          *obs.Counter
 	dropSender, dropReceiver, dropHandler, dropLoss *obs.Counter
-	upNodes                                        *obs.Gauge
+	upNodes                                         *obs.Gauge
 }
 
 func newNetMetrics(reg *obs.Registry) *netMetrics {

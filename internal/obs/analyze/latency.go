@@ -70,11 +70,11 @@ func attributeLatency(streams []*Stream) (*obs.LatencySummary, []StreamLatency) 
 			continue
 		}
 		row := StreamLatency{
-			MID:  st.MID,
-			Seg:  j.Seg,
-			Slot: j.Slot,
-			Hops: len(att.Hops),
-			E2EMs: usToMs(st.ReconstructedAt - st.FirstSentAt),
+			MID:     st.MID,
+			Seg:     j.Seg,
+			Slot:    j.Slot,
+			Hops:    len(att.Hops),
+			E2EMs:   usToMs(st.ReconstructedAt - st.FirstSentAt),
 			RetryMs: usToMs(att.Hops[0].SentAt - st.FirstSentAt),
 		}
 		var prop, queue int64

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -44,42 +43,76 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // String formats the time as seconds with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value in the
+// queue: scheduling neither boxes the event through an interface nor
+// allocates a queue node, so the steady-state cost of Schedule is an
+// amortized slice append.
 type event struct {
 	at     Time
 	seq    uint64 // tie-break: FIFO among simultaneous events
 	fn     func()
-	cancel *bool // non-nil for cancelable timers
-	index  int   // heap index
+	cancel *bool // non-nil for cancelable timers (lazy deletion)
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
+// eventQueue is a value-based binary min-heap ordered by (at, seq).
+// (at, seq) is a strict total order — seq is unique — so the pop
+// sequence is identical to the old container/heap implementation and
+// seeded histories are preserved byte for byte.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// push appends ev and sifts it up, moving the hole rather than
+// swapping: one write per level plus the final placement.
+func (q *eventQueue) push(ev event) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventBefore(&ev, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	*q = h
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn/cancel references for the GC
+	h = h[:n]
+	*q = h
+	// Sift last down from the root, again moving the hole.
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventBefore(&h[r], &h[c]) {
+			c = r
+		}
+		if !eventBefore(&h[c], &last) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulator.
@@ -128,12 +161,20 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	e.ScheduleAt(e.now+delay, fn)
+	e.schedule(e.now+delay, fn, nil)
 }
 
 // ScheduleAt runs fn at the given absolute virtual time. Times in the
 // past are clamped to now.
 func (e *Engine) ScheduleAt(at Time, fn func()) {
+	e.schedule(at, fn, nil)
+}
+
+// schedule is the single enqueue path: clamp, number, trace, push.
+// cancel, when non-nil, marks the event for lazy deletion — the run
+// loop still pops and counts it (so seeded histories and the executed
+// counter match the always-fire behaviour exactly) but skips fn.
+func (e *Engine) schedule(at Time, fn func(), cancel *bool) {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil callback")
 	}
@@ -148,7 +189,7 @@ func (e *Engine) ScheduleAt(at Time, fn func()) {
 			Slot: -1, Hop: -1,
 		})
 	}
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, fn: fn, cancel: cancel})
 }
 
 // Timer is a cancelable scheduled callback.
@@ -165,13 +206,15 @@ func (t *Timer) Cancel() {
 }
 
 // After schedules fn after delay and returns a cancelable Timer.
+// A canceled timer is lazily deleted: its queue entry is skipped by the
+// run loop when its time arrives rather than wrapping fn in a
+// check-and-bail closure.
 func (e *Engine) After(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
 	canceled := new(bool)
-	e.Schedule(delay, func() {
-		if !*canceled {
-			fn()
-		}
-	})
+	e.schedule(e.now+delay, fn, canceled)
 	return &Timer{canceled: canceled}
 }
 
@@ -181,18 +224,20 @@ func (e *Engine) Every(start, interval Time, fn func()) *Timer {
 	if interval <= 0 {
 		panic("sim: Every requires a positive interval")
 	}
+	if start < 0 {
+		start = 0
+	}
 	canceled := new(bool)
 	var tick func()
 	tick = func() {
-		if *canceled {
-			return
-		}
 		fn()
+		// Re-check after fn: canceling inside the callback must stop
+		// the rescheduling chain, not just mark the next entry dead.
 		if !*canceled {
-			e.Schedule(interval, tick)
+			e.schedule(e.now+interval, tick, canceled)
 		}
 	}
-	e.Schedule(start, tick)
+	e.schedule(e.now+start, tick, canceled)
 	return &Timer{canceled: canceled}
 }
 
@@ -205,12 +250,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.at > until {
+		if e.queue[0].at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		next := e.queue.pop()
 		e.now = next.at
 		e.ran++
 		if e.tracer != nil {
@@ -219,7 +263,13 @@ func (e *Engine) Run(until Time) Time {
 				Node: -1, Peer: -1, ID: next.seq, Slot: -1, Hop: -1,
 			})
 		}
-		next.fn()
+		// A canceled timer is still popped, traced, and counted — the
+		// pre-lazy-deletion implementation ran a no-op closure here, and
+		// seeded histories must not notice the difference — but its
+		// callback is skipped.
+		if next.cancel == nil || !*next.cancel {
+			next.fn()
+		}
 	}
 	if e.now < until && len(e.queue) == 0 {
 		e.now = until
@@ -231,7 +281,7 @@ func (e *Engine) Run(until Time) Time {
 func (e *Engine) RunAll() Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		next := heap.Pop(&e.queue).(*event)
+		next := e.queue.pop()
 		e.now = next.at
 		e.ran++
 		if e.tracer != nil {
@@ -240,7 +290,9 @@ func (e *Engine) RunAll() Time {
 				Node: -1, Peer: -1, ID: next.seq, Slot: -1, Hop: -1,
 			})
 		}
-		next.fn()
+		if next.cancel == nil || !*next.cancel {
+			next.fn()
+		}
 	}
 	return e.now
 }

@@ -228,7 +228,58 @@ func TestExecutedCounter(t *testing.T) {
 	}
 }
 
+func TestCanceledTimerCountsAsExecuted(t *testing.T) {
+	// Lazy deletion must be invisible to observers: a canceled timer is
+	// still popped at its scheduled time and counted by Executed(), so
+	// traces and report counters match the pre-lazy-deletion engine.
+	e := NewEngine(1)
+	fired := false
+	tm := e.After(2*Second, func() { fired = true })
+	e.Schedule(Second, func() { tm.Cancel() })
+	e.Schedule(3*Second, func() {})
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+	if e.Executed() != 3 {
+		t.Fatalf("Executed() = %d, want 3 (canceled event still counted)", e.Executed())
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+}
+
+func TestEveryCancelFromOutside(t *testing.T) {
+	e := NewEngine(1)
+	var ticks int
+	tm := e.Every(Second, Second, func() { ticks++ })
+	e.Schedule(3500*Millisecond, func() { tm.Cancel() })
+	e.Run(10 * Second)
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (t=1s,2s,3s before cancel at 3.5s)", ticks)
+	}
+}
+
+func TestScheduleZeroAlloc(t *testing.T) {
+	// The value-based heap must not allocate per event once the queue's
+	// backing array has grown: no *event box, no interface conversion.
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ { // pre-grow the backing array
+		e.Schedule(Time(i), fn)
+	}
+	e.RunAll()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Schedule(Second, fn)
+		e.RunAll()
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule+Run allocated %.1f times per op, want 0", allocs)
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

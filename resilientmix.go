@@ -13,6 +13,7 @@ import (
 	"resilientmix/internal/obs"
 	"resilientmix/internal/obs/analyze"
 	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/perfbench"
 	"resilientmix/internal/predictor"
 	"resilientmix/internal/sim"
 	"resilientmix/internal/stats"
@@ -308,6 +309,26 @@ var ReadRunReport = obs.ReadReport
 // StartProfiles starts CPU and/or heap profiling; the returned stop
 // function must run on every exit path.
 var StartProfiles = obs.StartProfiles
+
+// PerfReport is the machine-readable micro-benchmark summary written
+// by anonbench -bench-json. BENCH_PR4.json at the repository root is
+// the committed baseline CI gates against.
+type PerfReport = perfbench.Report
+
+// PerfRegression is one gated benchmark metric that moved past
+// tolerance in the losing direction.
+type PerfRegression = perfbench.Regression
+
+// RunPerfBench executes the headline micro-benchmarks (erasure
+// encode/decode throughput, engine event rate, allocation counts).
+var RunPerfBench = perfbench.Run
+
+// ReadPerfReport loads a benchmark report or baseline from disk.
+var ReadPerfReport = perfbench.ReadFile
+
+// ComparePerfReports gates a fresh report against a baseline at the
+// given relative tolerance; a non-empty result is a CI failure.
+var ComparePerfReports = perfbench.Compare
 
 // ExperimentOptions tunes reproduction scale (Quick shrinks everything).
 type ExperimentOptions = experiments.Options
