@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze clean
+.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze cluster-smoke lint-http clean
 
 all: build test
 
@@ -63,6 +63,21 @@ profile:
 	$(GO) run ./cmd/anonbench -all -quick -cpuprofile cpu.pprof -memprofile mem.pprof
 	@echo "inspect with: go tool pprof cpu.pprof"
 
+# Live-cluster smoke: spawn a 5-node anonnode cluster via the anonctl
+# harness, drive erasure-coded traffic through it, scrape /metrics on
+# every node, capture + merge live traces, and reconcile the analytics
+# against the aggregated counters. Then run the offline analyzer over
+# the captured live trace like any simulator trace.
+cluster-smoke:
+	$(GO) build -o bin/anonnode ./cmd/anonnode
+	$(GO) run ./cmd/anonctl smoke -n 5 -msgs 8 -bin bin/anonnode -trace live-trace.jsonl
+	$(GO) run ./cmd/anontrace report live-trace.jsonl
+
+# Repo-local HTTP hygiene lint: no bare http.ListenAndServe, every
+# http.Server literal sets ReadHeaderTimeout. See ci/linthttp.
+lint-http:
+	$(GO) run ./ci/linthttp
+
 # Short fuzz passes over the wire-facing parsers.
 fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzReader -fuzztime 20s
@@ -83,4 +98,5 @@ examples:
 
 clean:
 	rm -rf data results_full.txt test_output.txt bench_output.txt \
-		trace.jsonl trace.jsonl.gz report.json cpu.pprof mem.pprof
+		trace.jsonl trace.jsonl.gz report.json cpu.pprof mem.pprof \
+		bin live-trace.jsonl

@@ -1,0 +1,144 @@
+// Command linthttp is a repo-local static check for the two HTTP
+// hygiene rules this codebase enforces on every debug/metrics server:
+//
+//  1. No package-level http.ListenAndServe / http.ListenAndServeTLS
+//     calls. Those construct an http.Server with no timeouts at all, so
+//     a single slow-loris client can pin a goroutine forever. Servers
+//     must be built explicitly (rule 2) and started via the method.
+//  2. Every *http.Server composite literal must set ReadHeaderTimeout.
+//     That is the one timeout that is always safe to set — it bounds
+//     header parsing without constraining long-lived streaming
+//     responses like /debug/trace.
+//
+// Usage: go run ./ci/linthttp [dir]   (default ".")
+//
+// The checker walks every non-test .go file under the root (skipping
+// this directory itself and testdata), parses it with go/parser, and
+// exits non-zero with file:line diagnostics on any violation. It is
+// purely syntactic: it keys on files that import "net/http" and on the
+// local name that import binds, so aliased imports are caught too.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == "linthttp" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linthttp:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	var problems []string
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linthttp:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, checkFile(fset, f)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "linthttp: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("linthttp: %d files OK\n", len(files))
+}
+
+// httpName returns the local identifier the file binds "net/http" to,
+// or "" when the file does not import it.
+func httpName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "net/http" {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "" // dot/blank imports are out of scope
+			}
+			return imp.Name.Name
+		}
+		return "http"
+	}
+	return ""
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	pkg := httpName(f)
+	if pkg == "" {
+		return nil
+	}
+	var problems []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg &&
+					(sel.Sel.Name == "ListenAndServe" || sel.Sel.Name == "ListenAndServeTLS") {
+					problems = append(problems, fmt.Sprintf(
+						"%s: %s.%s has no timeouts; build an %s.Server with ReadHeaderTimeout instead",
+						fset.Position(n.Pos()), pkg, sel.Sel.Name, pkg))
+				}
+			}
+		case *ast.CompositeLit:
+			if sel, ok := n.Type.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg && sel.Sel.Name == "Server" {
+					if !setsField(n, "ReadHeaderTimeout") {
+						problems = append(problems, fmt.Sprintf(
+							"%s: %s.Server literal does not set ReadHeaderTimeout",
+							fset.Position(n.Pos()), pkg))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return problems
+}
+
+func setsField(lit *ast.CompositeLit, field string) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return true
+		}
+	}
+	return false
+}

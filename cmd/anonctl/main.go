@@ -1,0 +1,332 @@
+// Command anonctl operates a local anonnode cluster and observes it as
+// a whole: it generates the key/roster bundle, spawns the processes,
+// scrapes every node's /metrics and /debug/vars, aggregates the
+// per-node counters into a cluster-wide snapshot, renders a terminal
+// dashboard, flags anomalies (silent relays, stalled sessions, repair
+// spikes), drives erasure-coded session traffic through the cluster,
+// and captures merged live traces consumable by anontrace.
+//
+// Subcommands:
+//
+//	anonctl up     -dir d -n 5 -bin ./anonnode     spawn a cluster, run until interrupted
+//	anonctl status -dir d [-json] [-watch 2s]      scrape, aggregate, render
+//	anonctl traffic -dir d -msgs 8                 drive session traffic in-process
+//	anonctl smoke  -n 5 -msgs 8 -bin ./anonnode    full pipeline: spawn, trace, traffic,
+//	               [-trace live.jsonl] [-json]     scrape, reconcile, verdict
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"resilientmix/internal/cluster"
+	"resilientmix/internal/obs"
+	"resilientmix/internal/obs/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "up":
+		cmdUp(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	case "traffic":
+		cmdTraffic(os.Args[2:])
+	case "smoke":
+		cmdSmoke(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke> [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anonctl:", err)
+	os.Exit(1)
+}
+
+// cmdUp generates (unless the dir already holds a manifest) and spawns
+// a cluster, then runs until interrupted.
+func cmdUp(args []string) {
+	fs := flag.NewFlagSet("up", flag.ExitOnError)
+	dir := fs.String("dir", "cluster", "cluster directory")
+	n := fs.Int("n", 5, "number of nodes (ignored when the directory already holds a cluster)")
+	bin := fs.String("bin", "anonnode", "anonnode binary")
+	basePort := fs.Int("base-port", 19000, "first livenet port")
+	wait := fs.Duration("wait", 30*time.Second, "readiness timeout")
+	fs.Parse(args)
+
+	m, err := cluster.LoadManifest(*dir)
+	if err != nil {
+		m, err = cluster.Generate(*dir, cluster.Spec{Nodes: *n, Client: true, BasePort: *basePort})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("generated %d-node cluster in %s\n", len(m.Nodes), *dir)
+	}
+	r, err := m.Start(*bin)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Stop()
+	if err := r.WaitReady(*wait); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster up: %d nodes ready\n", len(m.Nodes))
+	for _, nd := range m.Nodes {
+		fmt.Printf("  node %d: %s  metrics http://%s/metrics\n", nd.ID, nd.Addr, nd.Debug)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("stopping cluster")
+}
+
+// scrapeAll scrapes every manifest node.
+func scrapeAll(m cluster.Manifest) cluster.ClusterSnapshot {
+	statuses := make([]cluster.NodeStatus, 0, len(m.Nodes))
+	for _, n := range m.Nodes {
+		statuses = append(statuses, cluster.ScrapeNode(n.ID, n.Debug))
+	}
+	return cluster.Aggregate(time.Now().UnixMicro(), statuses)
+}
+
+// cmdStatus scrapes and renders the cluster once, or repeatedly with
+// -watch (which also enables interval-based anomaly detection).
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	dir := fs.String("dir", "cluster", "cluster directory")
+	asJSON := fs.Bool("json", false, "emit the snapshot as JSON")
+	watch := fs.Duration("watch", 0, "rescrape at this interval (0: once)")
+	fs.Parse(args)
+
+	m, err := cluster.LoadManifest(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	var prev cluster.ClusterSnapshot
+	for {
+		cur := scrapeAll(m)
+		anomalies := cluster.DetectAnomalies(prev, cur)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				cluster.ClusterSnapshot
+				Anomalies []cluster.Anomaly `json:"anomalies,omitempty"`
+			}{cur, anomalies})
+		} else {
+			cluster.Render(os.Stdout, cur, anomalies)
+		}
+		if *watch <= 0 {
+			return
+		}
+		prev = cur
+		time.Sleep(*watch)
+		if !*asJSON {
+			fmt.Println()
+		}
+	}
+}
+
+// cmdTraffic drives erasure-coded session traffic through a running
+// cluster from an in-process client.
+func cmdTraffic(args []string) {
+	fs := flag.NewFlagSet("traffic", flag.ExitOnError)
+	dir := fs.String("dir", "cluster", "cluster directory")
+	msgs := fs.Int("msgs", 8, "messages to send")
+	ackWait := fs.Duration("ack-wait", 5*time.Second, "how long to wait for segment acks")
+	fs.Parse(args)
+
+	m, err := cluster.LoadManifest(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := cluster.RunTraffic(m, *msgs, []byte("anonctl traffic"), *ackWait)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sent %d messages over %d paths: %d/%d segments acked\n",
+		res.Sent, res.Paths, res.SegmentsAcked, res.SegmentsSent)
+	if res.SegmentsAcked < res.SegmentsSent {
+		os.Exit(1)
+	}
+}
+
+// smokeVerdict is the JSON output of anonctl smoke.
+type smokeVerdict struct {
+	Nodes     int                     `json:"nodes"`
+	Traffic   *cluster.TrafficResult  `json:"traffic"`
+	Snapshot  cluster.ClusterSnapshot `json:"snapshot"`
+	Anomalies []cluster.Anomaly       `json:"anomalies,omitempty"`
+	TraceFile string                  `json:"trace_file,omitempty"`
+	Analysis  obs.AnalysisSummary     `json:"analysis"`
+	Reconcile []string                `json:"reconcile,omitempty"`
+	Failures  []string                `json:"failures,omitempty"`
+	OK        bool                    `json:"ok"`
+}
+
+// cmdSmoke runs the full observability pipeline against a throwaway
+// cluster and exits non-zero unless everything reconciles: spawn N
+// nodes, stream /debug/trace from each, drive erasure-coded traffic,
+// scrape and aggregate all /metrics + /debug/vars, merge the live
+// traces, run trace analytics over them, and cross-check the analysis
+// against the aggregated counters.
+func cmdSmoke(args []string) {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	n := fs.Int("n", 5, "number of nodes")
+	msgs := fs.Int("msgs", 8, "messages to send")
+	bin := fs.String("bin", "anonnode", "anonnode binary")
+	dir := fs.String("dir", "", "cluster directory (default: a temp dir)")
+	basePort := fs.Int("base-port", 19200, "first livenet port")
+	tracePath := fs.String("trace", "", "write the merged live trace here (JSONL, .gz ok)")
+	capture := fs.Duration("capture", 8*time.Second, "per-node /debug/trace capture window")
+	asJSON := fs.Bool("json", false, "emit the verdict as JSON")
+	fs.Parse(args)
+
+	d := *dir
+	if d == "" {
+		tmp, err := os.MkdirTemp("", "anonctl-smoke-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		d = tmp
+	}
+	m, err := cluster.Generate(d, cluster.Spec{Nodes: *n, Client: true, BasePort: *basePort})
+	if err != nil {
+		fatal(err)
+	}
+	r, err := m.Start(*bin)
+	if err != nil {
+		fatal(err)
+	}
+	defer r.Stop()
+	if err := r.WaitReady(30 * time.Second); err != nil {
+		fatal(err)
+	}
+	step(*asJSON, "cluster of %d ready in %s", *n, d)
+
+	// Start a bounded trace capture on every node, then give the
+	// streams a beat to attach before traffic flows.
+	type capResult struct {
+		id     int
+		events []obs.Event
+		err    error
+	}
+	caps := make(chan capResult, len(m.Nodes))
+	for _, nd := range m.Nodes {
+		go func(id int, debug string) {
+			evs, err := cluster.CaptureTrace(debug, *capture)
+			caps <- capResult{id, evs, err}
+		}(nd.ID, nd.Debug)
+	}
+	time.Sleep(500 * time.Millisecond)
+
+	v := &smokeVerdict{Nodes: *n}
+	fail := func(format string, args ...any) { v.Failures = append(v.Failures, fmt.Sprintf(format, args...)) }
+
+	traffic, err := cluster.RunTraffic(m, *msgs, []byte("anonctl smoke payload"), 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	v.Traffic = traffic
+	step(*asJSON, "traffic done: %d messages, %d/%d segments acked",
+		traffic.Sent, traffic.SegmentsAcked, traffic.SegmentsSent)
+
+	// Scrape after traffic settles; the in-process client's registry
+	// joins the aggregation as one more node.
+	statuses := make([]cluster.NodeStatus, 0, len(m.Nodes)+1)
+	for _, nd := range m.Nodes {
+		statuses = append(statuses, cluster.ScrapeNode(nd.ID, nd.Debug))
+	}
+	statuses = append(statuses, traffic.Client)
+	v.Snapshot = cluster.Aggregate(time.Now().UnixMicro(), statuses)
+	v.Anomalies = cluster.DetectAnomalies(cluster.ClusterSnapshot{}, v.Snapshot)
+
+	// Collect the trace captures (they run their full window).
+	traces := [][]obs.Event{traffic.Events}
+	for range m.Nodes {
+		c := <-caps
+		if c.err != nil {
+			fail("trace capture node %d: %v", c.id, c.err)
+			continue
+		}
+		traces = append(traces, c.events)
+	}
+	merged := cluster.MergeTraces(traces...)
+	if *tracePath != "" {
+		if err := cluster.WriteTrace(*tracePath, merged); err != nil {
+			fatal(err)
+		}
+		v.TraceFile = *tracePath
+	}
+	step(*asJSON, "merged live trace: %d events from %d sources", len(merged), len(traces))
+
+	// Analytics over the merged live trace, cross-checked against the
+	// aggregated cluster counters — the same reconciliation contract
+	// simulator runs are held to.
+	res := analyze.FromEvents(merged)
+	v.Analysis = res.Summary
+	v.Reconcile = analyze.Reconcile(res, v.Snapshot.MergedReport())
+
+	if traffic.SegmentsAcked < traffic.SegmentsSent {
+		fail("only %d/%d segments acked", traffic.SegmentsAcked, traffic.SegmentsSent)
+	}
+	if got := v.Snapshot.Totals["recv.delivered"]; got != uint64(*msgs) {
+		fail("cluster-wide recv.delivered = %d, want %d", got, *msgs)
+	}
+	if res.Summary.Delivered != *msgs {
+		fail("trace analysis delivered = %d, want %d", res.Summary.Delivered, *msgs)
+	}
+	if res.Summary.IntegrityErrors != 0 {
+		fail("%d trace integrity errors: %v", res.Summary.IntegrityErrors, res.Summary.IntegrityDetails)
+	}
+	for _, diag := range v.Reconcile {
+		fail("reconcile: %s", diag)
+	}
+	for _, a := range v.Anomalies {
+		fail("anomaly: node %d %s: %s", a.NodeID, a.Kind, a.Detail)
+	}
+	v.OK = len(v.Failures) == 0
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	} else {
+		cluster.Render(os.Stdout, v.Snapshot, v.Anomalies)
+		fmt.Printf("\nanalysis: %d events, %d messages, %d delivered, %d journeys\n",
+			res.Summary.EventsAnalyzed, res.Summary.Messages, res.Summary.Delivered, res.Summary.Journeys)
+		if v.OK {
+			fmt.Println("smoke: OK — counters, probes, live trace and analytics all reconcile")
+		} else {
+			fmt.Printf("smoke: FAILED\n")
+			for _, f := range v.Failures {
+				fmt.Printf("  - %s\n", f)
+			}
+		}
+	}
+	if !v.OK {
+		os.Exit(1)
+	}
+}
+
+// step prints progress lines in human mode only (JSON mode keeps
+// stdout machine-parseable).
+func step(asJSON bool, format string, args ...any) {
+	if !asJSON {
+		fmt.Printf(format+"\n", args...)
+	}
+}

@@ -19,9 +19,18 @@
 //
 //	anonnode -roster roster.json -key node0.key -id 0 -listen 127.0.0.1:9000 \
 //	         -send "hello" -relays 1,2,3 -to 4
+//
+// With -debug ADDR the node serves its observability surface:
+// /metrics (Prometheus 0.0.4), /healthz and /readyz probes, /health
+// (JSON report), /debug/vars (expvar-style JSON counters) and
+// /debug/trace?dur=5s (live NDJSON trace stream consumable by
+// anontrace). -collector switches the responder role to the
+// erasure-coded session reassembler; -trace FILE appends the node's
+// trace events to a JSONL file.
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -36,6 +45,7 @@ import (
 
 	"resilientmix/internal/livenet"
 	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
 	"resilientmix/internal/onioncrypt"
 )
 
@@ -66,7 +76,9 @@ func main() {
 		relays  = flag.String("relays", "", "client mode: comma-separated relay ids")
 		to      = flag.Int("to", -1, "client mode: responder id")
 		wait    = flag.Duration("wait", 10*time.Second, "client mode: how long to wait for a reply")
-		debug   = flag.String("debug", "", "serve the node's metrics as JSON on this address at /debug/vars (expvar-style)")
+		debug   = flag.String("debug", "", "serve /metrics, /healthz, /readyz, /debug/vars and /debug/trace on this address")
+		collect = flag.Bool("collector", false, "responder mode: reassemble erasure-coded session traffic instead of echoing")
+		traceP  = flag.String("trace", "", "append the node's trace events to this JSONL file (.gz for gzip)")
 	)
 	flag.Parse()
 
@@ -100,32 +112,82 @@ func main() {
 		ID:      self,
 		Roster:  roster,
 		Private: priv,
-		OnData: func(h livenet.ReplyHandle, data []byte) {
+	}
+	if *collect {
+		// Collector mode: the responder half of a LiveSession —
+		// reassembles erasure-coded messages and acks each segment.
+		coll := livenet.NewLiveCollector(func(mid uint64, data []byte) {
+			fmt.Printf("[%s] reconstructed message %016x (%d bytes)\n",
+				time.Now().Format(time.TimeOnly), mid, len(data))
+		})
+		cfg.OnData = coll.Handle
+	} else {
+		cfg.OnData = func(h livenet.ReplyHandle, data []byte) {
 			fmt.Printf("[%s] received %q via relay %d\n", time.Now().Format(time.TimeOnly), data, h.From())
 			if err := h.Reply(append([]byte("ack: "), data...)); err != nil {
 				fmt.Fprintln(os.Stderr, "reply failed:", err)
 			}
-		},
+		}
+	}
+	var traceFile *obs.TraceFile
+	if *traceP != "" {
+		tf, err := obs.CreateTraceFile(*traceP)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = tf
+		cfg.Tracer = tf
 	}
 	node, err := livenet.Start(addr, cfg)
 	if err != nil {
 		fatal(err)
 	}
-	defer node.Close()
+	defer func() {
+		node.Close()
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "closing trace:", err)
+			}
+		}
+	}()
 	fmt.Printf("node %d up at %s\n", self, node.Addr())
 
+	var debugSrv *http.Server
 	if *debug != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/vars", node.DebugHandler())
-		srv := &http.Server{Addr: *debug, Handler: mux}
+		mux.Handle("/debug/trace", node.TraceHandler())
+		mux.Handle("/metrics", node.MetricsHandler())
+		mux.Handle("/healthz", node.HealthzHandler())
+		mux.Handle("/readyz", node.ReadyzHandler())
+		mux.Handle("/health", node.HealthHandler())
+		debugSrv = &http.Server{
+			Addr:    *debug,
+			Handler: mux,
+			// WriteTimeout stays unset: /debug/trace streams for up to its
+			// dur parameter and bounds itself.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       10 * time.Second,
+			IdleTimeout:       60 * time.Second,
+		}
 		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "debug endpoint:", err)
 			}
 		}()
-		defer srv.Close()
-		fmt.Printf("debug endpoint at http://%s/debug/vars\n", *debug)
+		fmt.Printf("debug endpoint at http://%s/metrics\n", *debug)
 	}
+	shutdownDebug := func() {
+		if debugSrv == nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := debugSrv.Shutdown(ctx); err != nil {
+			debugSrv.Close()
+		}
+	}
+	defer shutdownDebug()
 
 	if *send == "" {
 		// Relay/responder mode: run until interrupted.
@@ -162,6 +224,13 @@ func main() {
 		fmt.Printf("reply: %q\n", reply)
 	case <-time.After(*wait):
 		fmt.Println("no reply within", *wait)
+		// os.Exit skips defers: close things explicitly so the trace
+		// file's gzip footer is not lost.
+		shutdownDebug()
+		node.Close()
+		if traceFile != nil {
+			traceFile.Close()
+		}
 		os.Exit(1)
 	}
 }

@@ -9,7 +9,10 @@
 //	    anonymity observables. -reconcile cross-checks the analysis
 //	    against a run report's registry aggregates; -json writes the
 //	    analysis as a (merged) run report; -strict exits non-zero on
-//	    any integrity error.
+//	    any integrity error. The source may also be a live node's
+//	    stream URL (http://host:port/debug/trace?dur=10s): the request
+//	    captures for the given duration, then analyzes the events
+//	    exactly like a file.
 //	anontrace stream <trace.jsonl[.gz]>   print per-message causal
 //	    timelines (every hop, retry and terminal outcome); -id selects
 //	    one message.
@@ -27,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -68,6 +72,33 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// readSource analyzes a trace from a file path or, when src starts
+// with http:// or https://, from a live node's /debug/trace stream —
+// e.g. anontrace report "http://127.0.0.1:19100/debug/trace?dur=10s".
+// The HTTP request blocks for the stream's duration, then the captured
+// events are analyzed exactly like a trace file's.
+func readSource(src string) (*analyze.Result, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		return analyze.ReadFile(src)
+	}
+	resp, err := http.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", src, resp.StatusCode)
+	}
+	a := analyze.New()
+	if err := obs.ForEachEvent(resp.Body, func(e obs.Event) error {
+		a.Add(e)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return a.Finalize(), nil
+}
+
 // splitArgs parses "SUBCMD <positional...> [flags]": the flag package
 // stops at the first non-flag, so peel the positionals off first.
 func splitArgs(args []string, want int, fs *flag.FlagSet) []string {
@@ -98,7 +129,7 @@ func cmdReport(args []string) {
 	}
 	pos := splitArgs(args, 1, fs)
 
-	res, err := analyze.ReadFile(pos[0])
+	res, err := readSource(pos[0])
 	if err != nil {
 		fatal(err)
 	}
@@ -204,7 +235,7 @@ func cmdStream(args []string) {
 	}
 	pos := splitArgs(args, 1, fs)
 
-	res, err := analyze.ReadFile(pos[0])
+	res, err := readSource(pos[0])
 	if err != nil {
 		fatal(err)
 	}

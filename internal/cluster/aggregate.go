@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"resilientmix/internal/obs"
+)
+
+// ClusterSnapshot is one aggregated observation of the whole cluster.
+type ClusterSnapshot struct {
+	// AtUnixMicro stamps the scrape (wall clock).
+	AtUnixMicro int64 `json:"at_unix_micro"`
+	// Nodes holds the per-node scrapes, in manifest order.
+	Nodes []NodeStatus `json:"nodes"`
+	// Totals sums every counter across nodes under its dotted name.
+	Totals map[string]uint64 `json:"totals"`
+	// GaugeTotals sums every gauge across nodes (state-table sizes add
+	// meaningfully; rates do not exist as gauges here).
+	GaugeTotals map[string]float64 `json:"gauge_totals"`
+}
+
+// Aggregate sums per-node scrapes into a cluster snapshot.
+func Aggregate(atUnixMicro int64, nodes []NodeStatus) ClusterSnapshot {
+	s := ClusterSnapshot{
+		AtUnixMicro: atUnixMicro,
+		Nodes:       nodes,
+		Totals:      make(map[string]uint64),
+		GaugeTotals: make(map[string]float64),
+	}
+	for _, n := range nodes {
+		for k, v := range n.Counters {
+			s.Totals[k] += v
+		}
+		for k, v := range n.Gauges {
+			s.GaugeTotals[k] += v
+		}
+	}
+	return s
+}
+
+// MergedReport shapes the cluster totals as an obs.Report so
+// analyze.Reconcile can check a merged live trace against the
+// cluster-wide counters exactly as it checks a simulator trace against
+// a run report.
+func (s ClusterSnapshot) MergedReport() *obs.Report {
+	return &obs.Report{
+		SchemaVersion: obs.ReportSchemaVersion,
+		Name:          "anonctl",
+		Metrics: &obs.Snapshot{
+			Counters: s.Totals,
+			Gauges:   s.GaugeTotals,
+		},
+	}
+}
+
+// Counter returns one node's counter, zero when absent.
+func (n NodeStatus) Counter(name string) uint64 { return n.Counters[name] }
+
+// framesIn sums a node's inbound frame counters across kinds.
+func (n NodeStatus) framesIn() uint64 {
+	var sum uint64
+	for k, v := range n.Counters {
+		if strings.HasPrefix(k, "live.frames_in.") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Anomaly flags one suspicious observation. NodeID is -1 for
+// cluster-wide anomalies.
+type Anomaly struct {
+	NodeID int    `json:"node_id"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// Anomaly kinds.
+const (
+	AnomalyUnreachable = "node-unreachable"
+	AnomalyNotReady    = "not-ready"
+	AnomalySilentRelay = "silent-relay"
+	AnomalyStalled     = "stalled-sessions"
+	AnomalyRepairSpike = "repair-spike"
+)
+
+// DetectAnomalies compares two consecutive snapshots and flags nodes
+// that look wrong: unreachable or not-ready nodes, relays that stayed
+// silent while the cluster moved traffic, sessions sending segments
+// without any acks coming back, and path-death (repair) rates out of
+// proportion to traffic. prev may be the zero value; rate anomalies
+// need two observations and are skipped on the first.
+func DetectAnomalies(prev, cur ClusterSnapshot) []Anomaly {
+	var out []Anomaly
+	for _, n := range cur.Nodes {
+		if n.Err != "" {
+			out = append(out, Anomaly{n.ID, AnomalyUnreachable, n.Err})
+			continue
+		}
+		if !n.Ready {
+			out = append(out, Anomaly{n.ID, AnomalyNotReady, n.ReadyReason})
+		}
+	}
+	if prev.Totals == nil {
+		return out
+	}
+	prevByID := make(map[int]NodeStatus, len(prev.Nodes))
+	for _, n := range prev.Nodes {
+		prevByID[n.ID] = n
+	}
+
+	// Silent relay: the cluster as a whole moved frames this interval
+	// but one reachable node saw none arrive.
+	clusterDelta := deltaU(cur.Totals["live.frames_out"], prev.Totals["live.frames_out"])
+	if clusterDelta > 0 {
+		for _, n := range cur.Nodes {
+			p, ok := prevByID[n.ID]
+			if !ok || n.Err != "" {
+				continue
+			}
+			if deltaU(n.framesIn(), p.framesIn()) == 0 {
+				out = append(out, Anomaly{n.ID, AnomalySilentRelay,
+					fmt.Sprintf("no inbound frames while cluster moved %d", clusterDelta)})
+			}
+		}
+	}
+
+	// Stalled sessions: an initiator kept sending segments but no acks
+	// came back at all.
+	for _, n := range cur.Nodes {
+		p, ok := prevByID[n.ID]
+		if !ok || n.Err != "" {
+			continue
+		}
+		sent := deltaU(n.Counter("session.segments_sent"), p.Counter("session.segments_sent"))
+		acked := deltaU(n.Counter("session.segments_acked"), p.Counter("session.segments_acked"))
+		if sent > 0 && acked == 0 {
+			out = append(out, Anomaly{n.ID, AnomalyStalled,
+				fmt.Sprintf("%d segments sent this interval, none acked", sent)})
+		}
+	}
+
+	// Repair spike: cluster-wide path deaths out of proportion to the
+	// segments moved (more than one death per 4 segments).
+	dead := deltaU(cur.Totals["session.paths_dead"], prev.Totals["session.paths_dead"])
+	segs := deltaU(cur.Totals["session.segments_sent"], prev.Totals["session.segments_sent"])
+	if dead > 0 && dead*4 > segs {
+		out = append(out, Anomaly{-1, AnomalyRepairSpike,
+			fmt.Sprintf("%d paths died against %d segments this interval", dead, segs)})
+	}
+	return out
+}
+
+// deltaU is a clamped counter delta (counters reset when a node
+// restarts; a negative delta reads as zero, not underflow).
+func deltaU(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0
+	}
+	return cur - prev
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Render writes a terminal dashboard of one cluster snapshot: a
+// per-node table, the cluster totals, and any anomalies.
+func Render(w io.Writer, s ClusterSnapshot, anomalies []Anomaly) {
+	fmt.Fprintf(w, "%-5s %-7s %-7s %9s %9s %8s %8s %8s %7s %7s\n",
+		"node", "health", "ready", "frames_in", "frames_out", "sent", "acked", "delivrd", "fwd", "rev")
+	for _, n := range s.Nodes {
+		if n.Err != "" {
+			fmt.Fprintf(w, "%-5d %-7s %s\n", n.ID, "DOWN", n.Err)
+			continue
+		}
+		health, ready := "ok", "ok"
+		if !n.Healthy {
+			health = "FAIL"
+		}
+		if !n.Ready {
+			ready = "FAIL"
+		}
+		fmt.Fprintf(w, "%-5d %-7s %-7s %9d %9d %8d %8d %8d %7.0f %7.0f\n",
+			n.ID, health, ready,
+			n.framesIn(), n.Counter("live.frames_out"),
+			n.Counter("session.segments_sent"), n.Counter("session.segments_acked"),
+			n.Counter("recv.delivered"),
+			n.Gauges["live.forward_states"], n.Gauges["live.reverse_states"])
+	}
+	fmt.Fprintf(w, "\ntotals: frames_out=%d messages_sent=%d segments_sent=%d segments_acked=%d delivered=%d paths_built=%d paths_dead=%d\n",
+		s.Totals["live.frames_out"], s.Totals["session.messages_sent"],
+		s.Totals["session.segments_sent"], s.Totals["session.segments_acked"],
+		s.Totals["recv.delivered"], s.Totals["live.paths_built"], s.Totals["session.paths_dead"])
+
+	// Per-relay egress, the silent-relay early warning.
+	egress := make(map[string]uint64)
+	for k, v := range s.Totals {
+		const pfx = "live.peer_out."
+		if len(k) > len(pfx) && k[:len(pfx)] == pfx {
+			egress[k[len(pfx):]] += v
+		}
+	}
+	if len(egress) > 0 {
+		keys := make([]string, 0, len(egress))
+		for k := range egress {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "egress by peer:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s:%d", k, egress[k])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(anomalies) == 0 {
+		fmt.Fprintln(w, "anomalies: none")
+		return
+	}
+	fmt.Fprintf(w, "anomalies (%d):\n", len(anomalies))
+	for _, a := range anomalies {
+		if a.NodeID < 0 {
+			fmt.Fprintf(w, "  [cluster] %s: %s\n", a.Kind, a.Detail)
+		} else {
+			fmt.Fprintf(w, "  [node %d] %s: %s\n", a.NodeID, a.Kind, a.Detail)
+		}
+	}
+}

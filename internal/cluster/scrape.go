@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"resilientmix/internal/obs"
+)
+
+// scrapeClient bounds every scrape request; trace captures build their
+// own client because they intentionally stream for longer.
+var scrapeClient = &http.Client{Timeout: 5 * time.Second}
+
+// probeReady asks one node's /readyz and returns its failure, if any.
+func probeReady(debugAddr string) error {
+	resp, err := scrapeClient.Get("http://" + debugAddr + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// NodeStatus is one node's scraped state.
+type NodeStatus struct {
+	ID          int    `json:"id"`
+	Debug       string `json:"debug"`
+	Healthy     bool   `json:"healthy"`
+	Ready       bool   `json:"ready"`
+	ReadyReason string `json:"ready_reason,omitempty"`
+	// Counters and Gauges carry the node's registry under its native
+	// dotted names (scraped from /debug/vars).
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	// Err is set when the node could not be scraped at all.
+	Err string `json:"err,omitempty"`
+}
+
+// ScrapeNode collects one node's health, readiness and metrics. The
+// JSON /debug/vars endpoint is the source of truth (it preserves the
+// registry's dotted names); /metrics is fetched as well and
+// cross-validated against it — it must parse under the Prometheus
+// 0.0.4 grammar and no counter may have gone backward between the two
+// reads. Cross-validation failures surface in Err but the JSON values
+// are still returned.
+func ScrapeNode(id int, debugAddr string) NodeStatus {
+	st := NodeStatus{ID: id, Debug: debugAddr}
+
+	// Liveness and readiness first: a node that answers /healthz but
+	// fails /readyz is alive-but-degraded, which anomaly detection
+	// wants to distinguish from unreachable.
+	if resp, err := scrapeClient.Get("http://" + debugAddr + "/healthz"); err == nil {
+		st.Healthy = resp.StatusCode == http.StatusOK
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err := probeReady(debugAddr); err != nil {
+		st.ReadyReason = err.Error()
+	} else {
+		st.Ready = true
+	}
+
+	resp, err := scrapeClient.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	snap, err := decodeSnapshot(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		st.Err = fmt.Sprintf("debug/vars: %v", err)
+		return st
+	}
+	st.Counters = snap.Counters
+	st.Gauges = snap.Gauges
+
+	// Prometheus cross-check: the exposition must parse, and because
+	// counters are monotonic and /metrics is read after /debug/vars,
+	// every counter family must be at or above the JSON value.
+	resp, err = scrapeClient.Get("http://" + debugAddr + "/metrics")
+	if err != nil {
+		st.Err = fmt.Sprintf("metrics: %v", err)
+		return st
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		st.Err = fmt.Sprintf("metrics: exposition does not parse: %v", err)
+		return st
+	}
+	for name, v := range snap.Counters {
+		fam, ok := fams[obs.SanitizePromName(name)]
+		if !ok {
+			continue // collision-suffixed family; JSON remains authoritative
+		}
+		pv, ok := fam.Value()
+		if !ok {
+			continue
+		}
+		if uint64(pv) < v {
+			st.Err = fmt.Sprintf("metrics: counter %s went backward: prom %v < json %d", name, pv, v)
+			return st
+		}
+	}
+	return st
+}
+
+// decodeSnapshot parses an obs.Snapshot JSON document.
+func decodeSnapshot(r io.Reader) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	blob, err := io.ReadAll(io.LimitReader(r, 16<<20))
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// CaptureTrace streams one node's /debug/trace for dur and returns the
+// parsed events.
+func CaptureTrace(debugAddr string, dur time.Duration) ([]obs.Event, error) {
+	client := &http.Client{Timeout: dur + 30*time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/trace?dur=%s", debugAddr, dur))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("trace %d: %s", resp.StatusCode, body)
+	}
+	var events []obs.Event
+	err = obs.ForEachEvent(resp.Body, func(e obs.Event) error {
+		events = append(events, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// MergeTraces merges per-node trace captures into one cluster trace
+// ordered by timestamp (stable, so same-instant events keep their
+// per-node order).
+func MergeTraces(traces ...[]obs.Event) []obs.Event {
+	var out []obs.Event
+	for _, t := range traces {
+		out = append(out, t...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// WriteTrace writes events as a JSONL trace file (gzip when the path
+// ends in .gz) consumable by cmd/anontrace.
+func WriteTrace(path string, events []obs.Event) error {
+	tf, err := obs.CreateTraceFile(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		tf.Emit(e)
+	}
+	return tf.Close()
+}

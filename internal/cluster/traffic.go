@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"resilientmix/internal/livenet"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
+	"resilientmix/internal/onioncrypt"
+)
+
+// LoadKey reads an anonnode key file and returns the private key.
+func LoadKey(path string) (onioncrypt.PrivateKey, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var kf keyFile
+	if err := json.Unmarshal(blob, &kf); err != nil {
+		return nil, fmt.Errorf("cluster: parsing key file: %w", err)
+	}
+	priv, err := hex.DecodeString(kf.Priv)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: decoding private key: %w", err)
+	}
+	return priv, nil
+}
+
+// LoadRoster reads an anonnode roster file.
+func LoadRoster(path string) (*livenet.Roster, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rf rosterFile
+	if err := json.Unmarshal(blob, &rf); err != nil {
+		return nil, fmt.Errorf("cluster: parsing roster: %w", err)
+	}
+	peers := make([]livenet.Peer, 0, len(rf.Peers))
+	for _, p := range rf.Peers {
+		pub, err := hex.DecodeString(p.Pub)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %d public key: %w", p.ID, err)
+		}
+		peers = append(peers, livenet.Peer{ID: netsim.NodeID(p.ID), Addr: p.Addr, Public: pub})
+	}
+	return livenet.NewRoster(peers)
+}
+
+// PlanPaths derives the standard traffic layout for a generated
+// cluster: node nodes-1 is the responder, the remaining nodes pair up
+// into disjoint 2-relay paths, and the replication factor is 2 when
+// the path count is even (erasure coding with real redundancy), else
+// 1.
+func PlanPaths(nodes int) (relayLists [][]netsim.NodeID, responder netsim.NodeID, r int, err error) {
+	if nodes < 4 {
+		return nil, 0, 0, fmt.Errorf("cluster: traffic needs at least 4 nodes, got %d", nodes)
+	}
+	responder = netsim.NodeID(nodes - 1)
+	for i := 0; i+1 < nodes-1; i += 2 {
+		relayLists = append(relayLists, []netsim.NodeID{netsim.NodeID(i), netsim.NodeID(i + 1)})
+	}
+	r = 1
+	if len(relayLists)%2 == 0 {
+		r = 2
+	}
+	return relayLists, responder, r, nil
+}
+
+// TrafficResult reports an in-process traffic run against a cluster.
+type TrafficResult struct {
+	// Sent / SegmentsSent / SegmentsAcked are the client-side totals.
+	Sent          int    `json:"sent"`
+	SegmentsSent  uint64 `json:"segments_sent"`
+	SegmentsAcked uint64 `json:"segments_acked"`
+	// Paths is the number of live paths the session constructed.
+	Paths int `json:"paths"`
+	// Client is the in-process client's scraped state, aggregatable
+	// alongside the spawned nodes' scrapes.
+	Client NodeStatus `json:"client"`
+	// Events is the client's own trace (SegmentSent and wire events),
+	// mergeable with the nodes' /debug/trace captures.
+	Events []obs.Event `json:"-"`
+}
+
+// RunTraffic starts an in-process livenet client under the manifest's
+// reserved client identity, opens an erasure-coded multipath session
+// to the planned responder, sends msgs messages, and waits (up to
+// ackWait) for the segment acks to drain back.
+func RunTraffic(m Manifest, msgs int, payload []byte, ackWait time.Duration) (*TrafficResult, error) {
+	if m.Client == nil {
+		return nil, fmt.Errorf("cluster: manifest reserves no client identity (generate with Client: true)")
+	}
+	roster, err := LoadRoster(m.Roster)
+	if err != nil {
+		return nil, err
+	}
+	priv, err := LoadKey(m.Client.Key)
+	if err != nil {
+		return nil, err
+	}
+	relayLists, responder, r, err := PlanPaths(len(m.Nodes))
+	if err != nil {
+		return nil, err
+	}
+
+	// The client's own trace events land in a ring, to be merged with
+	// the nodes' /debug/trace captures.
+	ring := obs.NewRing(1 << 16)
+	node, err := livenet.Start(m.Client.Addr, livenet.Config{
+		ID:      netsim.NodeID(m.Client.ID),
+		Roster:  roster,
+		Private: priv,
+		Tracer:  ring,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: starting client node: %w", err)
+	}
+	defer node.Close()
+
+	sess, err := node.NewLiveSession(relayLists, responder, r, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: session construction: %w", err)
+	}
+	defer sess.Teardown()
+
+	res := &TrafficResult{Paths: sess.AlivePaths()}
+	for i := 0; i < msgs; i++ {
+		if _, err := sess.Send(append([]byte(nil), payload...)); err != nil {
+			return nil, fmt.Errorf("cluster: send %d: %w", i, err)
+		}
+		res.Sent++
+	}
+
+	// Wait for the acks to drain: every segment the collector acks made
+	// it end to end.
+	reg := node.Metrics()
+	want := reg.Counter("session.segments_sent").Value()
+	deadline := time.Now().Add(ackWait)
+	for time.Now().Before(deadline) {
+		if reg.Counter("session.segments_acked").Value() >= want {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	res.SegmentsSent = want
+	res.SegmentsAcked = reg.Counter("session.segments_acked").Value()
+	res.Events = ring.Events()
+
+	snap := reg.Snapshot()
+	res.Client = NodeStatus{
+		ID:       m.Client.ID,
+		Healthy:  true,
+		Ready:    true,
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	return res, nil
+}

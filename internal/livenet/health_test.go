@@ -1,0 +1,305 @@
+package livenet
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
+)
+
+// disableReadyCache turns off readiness caching for the test so every
+// probe reflects the cluster's instantaneous state.
+func disableReadyCache(t *testing.T) {
+	t.Helper()
+	old := readyCacheTTL
+	readyCacheTTL = 0
+	t.Cleanup(func() { readyCacheTTL = old })
+}
+
+func TestHealthzProbe(t *testing.T) {
+	c := startCluster(t, 2, nil)
+	n := c.nodes[0]
+
+	rec := httptest.NewRecorder()
+	n.HealthzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz on a live node = %d, want 200", rec.Code)
+	}
+
+	n.Close()
+	rec = httptest.NewRecorder()
+	n.HealthzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("healthz after Close = %d, want 503", rec.Code)
+	}
+}
+
+func TestReadyzProbe(t *testing.T) {
+	disableReadyCache(t)
+	c := startCluster(t, 3, nil)
+	n := c.nodes[0]
+
+	rec := httptest.NewRecorder()
+	n.ReadyzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("readyz with peers up = %d, want 200 (%s)", rec.Code, rec.Body.String())
+	}
+
+	// Kill every other peer: the node can no longer reach the roster, so
+	// it must flip to not-ready.
+	for _, other := range c.nodes[1:] {
+		other.Close()
+	}
+	rec = httptest.NewRecorder()
+	n.ReadyzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != 503 {
+		t.Fatalf("readyz with all peers down = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "not ready") {
+		t.Fatalf("readyz failure body carries no reason: %q", rec.Body.String())
+	}
+
+	// A shut-down node is never ready.
+	n.Close()
+	if err := n.Ready(); err == nil {
+		t.Fatal("Ready() on a closed node returned nil")
+	}
+}
+
+func TestHealthReport(t *testing.T) {
+	disableReadyCache(t)
+	c := startCluster(t, 4, map[int]DataFunc{3: func(h ReplyHandle, data []byte) {}})
+
+	// Build a path so state tables and path counts are non-trivial.
+	if _, err := c.nodes[0].Construct([]netsim.NodeID{1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	h := c.nodes[0].Health()
+	if h.ID != 0 || h.RosterSize != 4 || h.ActivePaths != 1 {
+		t.Fatalf("initiator health wrong: %+v", h)
+	}
+	if !h.Ready || h.ReadyReason != "" {
+		t.Fatalf("initiator not ready: %+v", h)
+	}
+	relay := c.nodes[1].Health()
+	if relay.ForwardStates != 1 || relay.ReverseStates != 1 {
+		t.Fatalf("relay state tables not reflected: %+v", relay)
+	}
+	if relay.LastFrameAgoSeconds < 0 {
+		t.Fatalf("relay that handled frames reports no last frame: %+v", relay)
+	}
+	resp := c.nodes[3].Health()
+	if !resp.Responder {
+		t.Fatalf("responder flag not set: %+v", resp)
+	}
+	if c.nodes[0].Health().Responder {
+		t.Fatal("non-responder reports responder role")
+	}
+}
+
+func TestMetricsEndpointParses(t *testing.T) {
+	c := startCluster(t, 4, map[int]DataFunc{3: func(h ReplyHandle, data []byte) {}})
+	p, err := c.nodes[0].Construct([]netsim.NodeID{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send([]byte("metrics probe")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	c.nodes[0].MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	fams, err := obs.ParsePrometheus(rec.Body)
+	if err != nil {
+		t.Fatalf("live /metrics does not parse under the 0.0.4 grammar: %v", err)
+	}
+	fo, ok := fams["live_frames_out"]
+	if !ok {
+		t.Fatalf("live_frames_out missing from exposition; families: %d", len(fams))
+	}
+	if v, ok := fo.Value(); !ok || v <= 0 {
+		t.Fatalf("live_frames_out = %v after sending traffic", v)
+	}
+	if _, ok := fams["live_paths_built"]; !ok {
+		t.Fatal("live_paths_built missing from exposition")
+	}
+	// The per-peer egress family must be present for the first relay.
+	if _, ok := fams["live_peer_out_1"]; !ok {
+		t.Fatal("per-relay egress counter live_peer_out_1 missing")
+	}
+}
+
+func TestTraceHandlerStreamsLiveEvents(t *testing.T) {
+	c := startCluster(t, 4, map[int]DataFunc{3: func(h ReplyHandle, data []byte) {}})
+	n := c.nodes[0]
+
+	// Stream while a path construction and a send happen. httptest's
+	// ResponseRecorder is synchronous, so run the handler in a goroutine
+	// against a pipe and feed traffic concurrently.
+	req := httptest.NewRequest("GET", "/debug/trace?dur=700ms", nil)
+	pr, pw := io.Pipe()
+	rec := &pipeRecorder{ResponseRecorder: httptest.NewRecorder(), w: pw}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer pw.Close()
+		n.TraceHandler().ServeHTTP(rec, req)
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	p, err := n.Construct([]netsim.NodeID{1, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Send([]byte("trace me")); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []obs.Event
+	sc := bufio.NewScanner(pr)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := obs.ParseEvent(line)
+		if err != nil {
+			t.Fatalf("stream line is not a trace event: %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	<-done
+
+	var sent, built int
+	for _, e := range events {
+		switch e.Type {
+		case obs.MsgSent:
+			sent++
+		case obs.PathBuilt:
+			built++
+		}
+	}
+	if sent == 0 || built == 0 {
+		t.Fatalf("stream missed live activity: %d msg_sent, %d path_built of %d events",
+			sent, built, len(events))
+	}
+	// Reconciliation trailers: written + dropped == emitted, and this
+	// short unloaded stream must not drop.
+	emitted, _ := strconv.Atoi(rec.Header().Get("X-Trace-Emitted"))
+	written, _ := strconv.Atoi(rec.Header().Get("X-Trace-Written"))
+	dropped, _ := strconv.Atoi(rec.Header().Get("X-Trace-Dropped"))
+	if written+dropped != emitted {
+		t.Fatalf("trailers do not reconcile: %d written + %d dropped != %d emitted",
+			written, dropped, emitted)
+	}
+	if written != len(events) {
+		t.Fatalf("X-Trace-Written = %d but client parsed %d lines", written, len(events))
+	}
+	if dropped != 0 {
+		t.Fatalf("unloaded stream dropped %d events", dropped)
+	}
+	// Detached after the stream: node activity no longer reaches the hub
+	// subscriber count.
+	if got := n.hub.Subscribers(); got != 0 {
+		t.Fatalf("trace handler left %d subscribers attached", got)
+	}
+}
+
+func TestTraceHandlerRejectsBadDur(t *testing.T) {
+	c := startCluster(t, 2, nil)
+	for _, q := range []string{"dur=bogus", "dur=-1s", "dur=0s"} {
+		rec := httptest.NewRecorder()
+		c.nodes[0].TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?"+q, nil))
+		if rec.Code != 400 {
+			t.Fatalf("?%s accepted with %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+// pipeRecorder tees handler writes into a pipe so a concurrent reader
+// can consume the NDJSON stream while the handler runs.
+type pipeRecorder struct {
+	*httptest.ResponseRecorder
+	w io.Writer
+}
+
+func (p *pipeRecorder) Write(b []byte) (int, error) {
+	if n, err := p.w.Write(b); err != nil {
+		return n, err
+	}
+	return p.ResponseRecorder.Write(b)
+}
+
+func TestSessionCountersReconcile(t *testing.T) {
+	// End-to-end: LiveSession counters on the initiator must reconcile
+	// with the collector counters on the responder exactly as
+	// analyze.Reconcile expects of simulated runs.
+	delivered := make(chan []byte, 8)
+	coll := NewLiveCollector(func(mid uint64, data []byte) { delivered <- data })
+	c := startCluster(t, 10, map[int]DataFunc{9: coll.Handle})
+	init, resp := c.nodes[0], c.nodes[9]
+
+	relayLists := [][]netsim.NodeID{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	s, err := init.NewLiveSession(relayLists, 9, 2, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Teardown()
+
+	const msgs = 3
+	for i := 0; i < msgs; i++ {
+		if _, err := s.Send([]byte("reconcile me")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-delivered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d not delivered", i)
+		}
+	}
+	// Acks travel after delivery; give them a beat.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if init.Metrics().Counter("session.segments_acked").Value() >= uint64(msgs*len(relayLists)) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	im, rm := init.Metrics(), resp.Metrics()
+	if got := im.Counter("session.messages_sent").Value(); got != msgs {
+		t.Fatalf("messages_sent = %d, want %d", got, msgs)
+	}
+	wantSegs := uint64(msgs * len(relayLists))
+	if got := im.Counter("session.segments_sent").Value(); got != wantSegs {
+		t.Fatalf("segments_sent = %d, want %d", got, wantSegs)
+	}
+	if got := rm.Counter("recv.delivered").Value(); got != msgs {
+		t.Fatalf("recv.delivered = %d, want %d", got, msgs)
+	}
+	recvSegs := rm.Counter("recv.segments").Value() + rm.Counter("recv.dup_segments").Value()
+	if recvSegs != wantSegs {
+		t.Fatalf("responder saw %d segments, initiator sent %d", recvSegs, wantSegs)
+	}
+	if got := im.Counter("session.segments_acked").Value(); got != wantSegs {
+		t.Fatalf("segments_acked = %d, want %d", got, wantSegs)
+	}
+	if got := im.Counter("session.paths_dead").Value(); got != 0 {
+		t.Fatalf("healthy run marked %d paths dead", got)
+	}
+}

@@ -109,13 +109,11 @@ func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path
 
 // notePathBuilt records a successfully acked path construction.
 func (n *Node) notePathBuilt(p *Path) {
-	if n.cfg.Tracer != nil {
-		n.cfg.Tracer.Emit(obs.Event{
-			Type: obs.PathBuilt, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(p.Responder),
-			ID: p.SID, Seq: int64(len(p.Relays)), Slot: -1, Hop: -1,
-		})
-	}
+	n.emit(obs.Event{
+		Type: obs.PathBuilt, At: time.Now().UnixMicro(),
+		Node: int(n.cfg.ID), Peer: int(p.Responder),
+		ID: p.SID, Seq: int64(len(p.Relays)), Slot: -1, Hop: -1,
+	})
 	n.reg.Counter("live.paths_built").Inc()
 }
 

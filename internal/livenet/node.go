@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientmix/internal/netsim"
@@ -102,6 +104,21 @@ type Node struct {
 	ln  net.Listener
 	reg *obs.Registry
 	m   *liveMetrics
+	// hub fans trace events out to runtime subscribers (the
+	// /debug/trace streaming endpoint); trc is the node's effective
+	// tracer: the configured one plus the hub.
+	hub *obs.Hub
+	trc obs.Tracer
+	// started anchors uptime; lastFrameAt (unix micros) tracks the
+	// most recent inbound frame for the health report.
+	started     time.Time
+	lastFrameAt atomic.Int64
+
+	// readiness cache (see Ready): readyAt stamps the last probe,
+	// readyErr holds its verdict.
+	readyMu  sync.Mutex
+	readyAt  time.Time
+	readyErr error
 
 	mu       sync.Mutex
 	forward  map[uint64]*liveState
@@ -159,11 +176,15 @@ func Start(addr string, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("livenet: listen: %w", err)
 	}
 	reg := obs.NewRegistry()
+	hub := obs.NewHub()
 	n := &Node{
 		cfg:      cfg,
 		ln:       ln,
 		reg:      reg,
 		m:        newLiveMetrics(reg),
+		hub:      hub,
+		trc:      obs.Multi(cfg.Tracer, hub),
+		started:  time.Now(),
 		forward:  make(map[uint64]*liveState),
 		reverse:  make(map[uint64]*liveState),
 		acks:     make(map[uint64]chan struct{}),
@@ -206,6 +227,17 @@ func (n *Node) Metrics() *obs.Registry { return n.reg }
 // node's metrics as indented JSON; cmd/anonnode mounts it at
 // /debug/vars when -debug is set.
 func (n *Node) DebugHandler() http.Handler { return n.reg }
+
+// emit hands one trace event to the configured tracer and every live
+// subscriber. trc is never nil (the hub is always present).
+func (n *Node) emit(e obs.Event) { n.trc.Emit(e) }
+
+// AttachTracer subscribes a tracer to the node's live event stream and
+// returns its (idempotent) detach function — the mechanism behind
+// /debug/trace streaming.
+func (n *Node) AttachTracer(t obs.Tracer) (detach func()) {
+	return n.hub.Attach(t)
+}
 
 // syncStateGauges refreshes the relay-state gauges. Callers must hold
 // n.mu.
@@ -289,26 +321,25 @@ func (n *Node) send(to netsim.NodeID, f frame) error {
 		return err
 	}
 	n.m.framesOut.Inc()
-	if n.cfg.Tracer != nil {
-		n.cfg.Tracer.Emit(obs.Event{
-			Type: obs.MsgSent, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid,
-			Slot: -1, Hop: -1, Size: len(f.body),
-		})
-	}
+	// Per-relay egress counter: anonctl's cluster aggregation uses the
+	// live.peer_out.* family to spot silent relays.
+	n.reg.Counter("live.peer_out." + strconv.Itoa(int(to))).Inc()
+	n.emit(obs.Event{
+		Type: obs.MsgSent, At: time.Now().UnixMicro(),
+		Node: int(n.cfg.ID), Peer: int(to), ID: f.sid,
+		Slot: -1, Hop: -1, Size: len(f.body),
+	})
 	return nil
 }
 
 func (n *Node) noteSendError(to netsim.NodeID, f frame) {
 	n.m.sendErrors.Inc()
-	if n.cfg.Tracer != nil {
-		n.cfg.Tracer.Emit(obs.Event{
-			Type: obs.MsgDropped, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(to), ID: f.sid,
-			Slot: -1, Hop: -1, Size: len(f.body),
-			Reason: obs.ReasonSendFailed,
-		})
-	}
+	n.emit(obs.Event{
+		Type: obs.MsgDropped, At: time.Now().UnixMicro(),
+		Node: int(n.cfg.ID), Peer: int(to), ID: f.sid,
+		Slot: -1, Hop: -1, Size: len(f.body),
+		Reason: obs.ReasonSendFailed,
+	})
 }
 
 func newSID() uint64 {
@@ -335,6 +366,7 @@ func splitSender(body []byte) (netsim.NodeID, []byte, error) {
 }
 
 func (n *Node) handle(f frame) {
+	n.lastFrameAt.Store(time.Now().UnixMicro())
 	if f.kind < kindConstruct || f.kind > kindConstructData {
 		n.m.badFrames.Inc()
 		return
@@ -542,13 +574,11 @@ func (n *Node) handleDeliver(f frame) {
 	n.mu.Lock()
 	n.respKeys[f.sid] = respStream{relay: relay, key: key}
 	n.mu.Unlock()
-	if n.cfg.Tracer != nil {
-		n.cfg.Tracer.Emit(obs.Event{
-			Type: obs.MsgDelivered, At: time.Now().UnixMicro(),
-			Node: int(n.cfg.ID), Peer: int(relay), ID: f.sid,
-			Slot: -1, Hop: -1, Size: len(data),
-		})
-	}
+	n.emit(obs.Event{
+		Type: obs.MsgDelivered, At: time.Now().UnixMicro(),
+		Node: int(n.cfg.ID), Peer: int(relay), ID: f.sid,
+		Slot: -1, Hop: -1, Size: len(data),
+	})
 	n.cfg.OnData(ReplyHandle{node: n, sid: f.sid, relay: relay, key: key}, data)
 }
 

@@ -104,7 +104,11 @@ func NewLiveCollector(delivered LiveDelivered) *LiveCollector {
 }
 
 // Handle is the node's OnData: it acks every segment and reconstructs
-// once m distinct segments of a message arrived.
+// once m distinct segments of a message arrived. When the handle is
+// bound to a live node it also maintains the receiver-side registry
+// counters (recv.segments, recv.dup_segments, recv.delivered) and
+// emits a SegmentReconstructed trace event, so live runs reconcile
+// with trace analytics exactly the way simulated runs do.
 func (c *LiveCollector) Handle(h ReplyHandle, data []byte) {
 	kind, seg, _, err := decodeLive(data)
 	if err != nil || kind != liveKindSegment {
@@ -120,6 +124,9 @@ func (c *LiveCollector) Handle(h ReplyHandle, data []byte) {
 	c.mu.Lock()
 	if c.done[seg.mid] {
 		c.mu.Unlock()
+		if h.node != nil {
+			h.node.reg.Counter("recv.dup_segments").Inc()
+		}
 		return
 	}
 	segs := c.pending[seg.mid]
@@ -127,7 +134,8 @@ func (c *LiveCollector) Handle(h ReplyHandle, data []byte) {
 		segs = make(map[int32]erasure.Segment)
 		c.pending[seg.mid] = segs
 	}
-	if _, dup := segs[seg.index]; !dup {
+	dup := false
+	if _, dup = segs[seg.index]; !dup {
 		segs[seg.index] = erasure.Segment{Index: int(seg.index), Data: seg.data}
 	}
 	ready := int32(len(segs)) >= seg.needed
@@ -140,6 +148,13 @@ func (c *LiveCollector) Handle(h ReplyHandle, data []byte) {
 		}
 	}
 	c.mu.Unlock()
+	if h.node != nil {
+		if dup {
+			h.node.reg.Counter("recv.dup_segments").Inc()
+		} else {
+			h.node.reg.Counter("recv.segments").Inc()
+		}
+	}
 	if !ready {
 		return
 	}
@@ -150,6 +165,14 @@ func (c *LiveCollector) Handle(h ReplyHandle, data []byte) {
 	msg, err := code.Reconstruct(batch)
 	if err != nil {
 		return
+	}
+	if h.node != nil {
+		h.node.reg.Counter("recv.delivered").Inc()
+		h.node.emit(obs.Event{
+			Type: obs.SegmentReconstructed, At: time.Now().UnixMicro(),
+			Node: int(h.node.cfg.ID), Peer: -1, ID: seg.mid,
+			Seq: int64(len(batch)), Slot: -1, Hop: -1, Size: len(msg),
+		})
 	}
 	if c.delivered != nil {
 		c.delivered(seg.mid, msg)
@@ -236,8 +259,9 @@ func (s *LiveSession) ackLoop(slot int, p *Path) {
 			continue
 		}
 		s.mu.Lock()
-		if m := s.acked[ack.mid]; m != nil {
+		if m := s.acked[ack.mid]; m != nil && !m[ack.index] {
 			m[ack.index] = true
+			s.node.reg.Counter("session.segments_acked").Inc()
 		}
 		s.mu.Unlock()
 	}
@@ -277,6 +301,7 @@ func (s *LiveSession) Send(data []byte) (uint64, error) {
 		return 0, errors.New("livenet: no live paths")
 	}
 
+	s.node.reg.Counter("session.messages_sent").Inc()
 	for _, j := range jobs {
 		msg := liveSegment{
 			mid:    mid,
@@ -286,14 +311,13 @@ func (s *LiveSession) Send(data []byte) (uint64, error) {
 			data:   j.seg.Data,
 		}
 		j.p.Send(msg.encode())
-		if tr := s.node.cfg.Tracer; tr != nil {
-			tr.Emit(obs.Event{
-				Type: obs.SegmentSent, At: time.Now().UnixMicro(),
-				Node: int(s.node.cfg.ID), Peer: int(j.p.Responder), ID: mid,
-				Seq: int64(j.seg.Index), Slot: j.slot, Hop: -1,
-				Size: len(j.seg.Data),
-			})
-		}
+		s.node.reg.Counter("session.segments_sent").Inc()
+		s.node.emit(obs.Event{
+			Type: obs.SegmentSent, At: time.Now().UnixMicro(),
+			Node: int(s.node.cfg.ID), Peer: int(j.p.Responder), ID: mid,
+			Seq: int64(j.seg.Index), Slot: j.slot, Hop: -1,
+			Size: len(j.seg.Data),
+		})
 	}
 
 	// Failure detection: after the timeout, unacked slots are dead.
@@ -303,8 +327,15 @@ func (s *LiveSession) Send(data []byte) (uint64, error) {
 		acks := s.acked[mid]
 		delete(s.acked, mid)
 		for _, j := range jobs {
-			if acks != nil && !acks[int32(j.seg.Index)] {
+			if acks != nil && !acks[int32(j.seg.Index)] && s.alive[j.slot] {
 				s.alive[j.slot] = false
+				s.node.reg.Counter("session.paths_dead").Inc()
+				s.node.emit(obs.Event{
+					Type: obs.PathBroken, At: time.Now().UnixMicro(),
+					Node: int(s.node.cfg.ID), Peer: int(j.p.Responder),
+					ID: j.p.SID, Slot: j.slot, Hop: -1,
+					Reason: obs.ReasonAckTimeout,
+				})
 			}
 		}
 	})

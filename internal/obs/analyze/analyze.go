@@ -245,6 +245,14 @@ func (a *Analyzer) Add(e obs.Event) {
 		}
 		st.Initiator = e.Node
 		st.Responder = e.Peer
+		// The endpoint event also anchors the journey record. Simulator
+		// traces create it anyway via the tagged hop-0 wire send; live
+		// traces carry untagged wire events, so without this their
+		// journey count would be zero and never reconcile with the
+		// session.segments_sent counter.
+		if e.Slot >= 0 {
+			a.journey(jkey{e.ID, int32(e.Seq), int32(e.Slot)})
+		}
 	case obs.SegmentReconstructed:
 		st := a.stream(e.ID)
 		if st.Reconstructed {

@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the bridge between the registry and standard scrape
+// tooling: an encoder for the Prometheus text exposition format,
+// version 0.0.4 (the `/metrics` wire format every Prometheus-compatible
+// scraper speaks), and a strict parser for the same grammar. The
+// parser exists for two reasons: the round-trip test that pins the
+// encoder to the grammar, and cmd/anonctl, which scrapes a cluster's
+// `/metrics` endpoints and aggregates them.
+//
+// Mapping: registry names use dots ("live.frames_out"); Prometheus
+// names may not, so every name is sanitized ("live_frames_out") —
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Counters and gauges become single samples;
+// a Histogram becomes the conventional triplet: cumulative
+// `name_bucket{le="..."}` samples ending in le="+Inf", plus `name_sum`
+// and `name_count`.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizePromName rewrites a registry metric name into a valid
+// Prometheus metric name: every character outside [a-zA-Z0-9_:] maps
+// to '_', and a leading digit gains a '_' prefix.
+func SanitizePromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromValue renders a sample value. strconv's shortest 'g' form
+// covers the grammar, including "+Inf", "-Inf" and "NaN".
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format 0.0.4. Families are emitted in sorted sanitized-name order
+// (counters, then gauges, then histograms), so equal snapshots encode
+// to equal bytes. When two registry names sanitize to the same
+// Prometheus name, later kinds gain a disambiguating suffix.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	used := make(map[string]bool)
+
+	uniq := func(name, suffix string) string {
+		n := SanitizePromName(name)
+		if used[n] {
+			n += suffix
+		}
+		used[n] = true
+		return n
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		n := uniq(name, "_counter")
+		fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+		fmt.Fprintf(bw, "%s %s\n", n, strconv.FormatUint(s.Counters[name], 10))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := uniq(name, "_gauge")
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(bw, "%s %s\n", n, formatPromValue(s.Gauges[name]))
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		n := uniq(name, "_histogram")
+		h := s.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, formatPromValue(b.LE), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, formatPromValue(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	return bw.Flush()
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PrometheusHandler exposes the registry in the text exposition format
+// — the `/metrics` endpoint mounted by cmd/anonnode.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		WritePrometheus(w, r.Snapshot())
+	})
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name (for histograms, including the
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the sample's label pairs; nil when there are none.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// PromFamily groups the samples of one metric family.
+type PromFamily struct {
+	// Name is the family name (histogram samples attach under their
+	// base name, without the _bucket/_sum/_count suffix).
+	Name string
+	// Type is the declared type: "counter", "gauge", "histogram",
+	// "summary", or "untyped" when no # TYPE line preceded the samples.
+	Type string
+	// Samples in input order.
+	Samples []PromSample
+}
+
+// Value returns the value of the first sample with the given full name
+// and no labels — the counter/gauge convenience accessor.
+func (f *PromFamily) Value() (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == f.Name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParsePrometheus parses a text-exposition stream into families keyed
+// by family name. It enforces the 0.0.4 grammar strictly: malformed
+// names, labels, values or TYPE lines are errors, as are samples whose
+// name does not match a compatible preceding TYPE declaration.
+func ParsePrometheus(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, fams); err != nil {
+				return nil, fmt.Errorf("prom line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom line %d: %w", lineNo, err)
+		}
+		fam := familyFor(fams, sample)
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parsePromComment handles "# TYPE" and "# HELP" lines (other comments
+// are ignored).
+func parsePromComment(line string, fams map[string]*PromFamily) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("bad TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validPromName(name) {
+			return fmt.Errorf("bad metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if f, ok := fams[name]; ok && f.Type != "untyped" {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		fams[name] = &PromFamily{Name: name, Type: typ}
+	case "HELP":
+		if len(fields) < 3 || !validPromName(fields[2]) {
+			return fmt.Errorf("bad HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// familyFor attaches a sample to its family, resolving histogram and
+// summary suffixes against declared TYPEs, creating an untyped family
+// otherwise.
+func familyFor(fams map[string]*PromFamily, s PromSample) *PromFamily {
+	if f, ok := fams[s.Name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(s.Name, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+			return f
+		}
+	}
+	f := &PromFamily{Name: s.Name, Type: "untyped"}
+	fams[s.Name] = f
+	return f
+}
+
+// parsePromSample parses `name[{labels}] value [timestamp]`.
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parsePromLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after %q", s.Name)
+	}
+	v, err := parsePromFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parsePromFloat accepts the grammar's value forms, including the
+// signed Inf spellings Go's ParseFloat already understands.
+func parsePromFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// parsePromLabels parses a `{name="value",...}` block starting at
+// s[0]=='{', returning the index one past the closing brace.
+func parsePromLabels(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label in %q", s)
+		}
+		name := s[start:i]
+		if !validPromLabelName(name) {
+			return 0, nil, fmt.Errorf("bad label name %q", name)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value is not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in label %q", s[i], name)
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+	}
+}
+
+// validPromName reports whether s is a valid metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether s is a valid label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validPromLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -164,7 +164,7 @@ func (s HistogramSnapshot) Percentiles() Quantiles {
 // estimate is always within the observed range. Empty snapshots
 // return 0.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if s.Count == 0 || math.IsNaN(q) {
 		return 0
 	}
 	if q <= 0 {
