@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze cluster-smoke lint-http clean
+.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke lint-http clean
 
 all: build test
 
@@ -73,6 +73,17 @@ cluster-smoke:
 	$(GO) run ./cmd/anonctl smoke -n 5 -msgs 8 -bin bin/anonnode -trace live-trace.jsonl
 	$(GO) run ./cmd/anontrace report live-trace.jsonl
 
+# Continuous-telemetry smoke: record a throwaway 2-node cluster into an
+# embedded time-series file for a few seconds, verify the recorded file
+# replays to a byte-identical dashboard with zero alerts fired (an idle
+# healthy cluster must not trip the anomaly rules), then render the
+# recorded run offline.
+watch-smoke:
+	$(GO) build -o bin/anonnode ./cmd/anonnode
+	$(GO) run ./cmd/anonctl record -spawn -n 2 -bin bin/anonnode \
+		-for 4s -interval 500ms -out watch-run.tsdb.gz -verify
+	$(GO) run ./cmd/anonctl replay -in watch-run.tsdb.gz
+
 # Repo-local HTTP hygiene lint: no bare http.ListenAndServe, every
 # http.Server literal sets ReadHeaderTimeout. See ci/linthttp.
 lint-http:
@@ -83,6 +94,7 @@ fuzz:
 	$(GO) test ./internal/wire -fuzz FuzzReader -fuzztime 20s
 	$(GO) test ./internal/core -fuzz FuzzDecodeAppMsg -fuzztime 20s
 	$(GO) test ./internal/onion -fuzz FuzzParseConstructLayer -fuzztime 20s
+	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzParsePrometheus -fuzztime 20s
 
 cover:
 	$(GO) test -cover ./...
@@ -99,4 +111,4 @@ examples:
 clean:
 	rm -rf data results_full.txt test_output.txt bench_output.txt \
 		trace.jsonl trace.jsonl.gz report.json cpu.pprof mem.pprof \
-		bin live-trace.jsonl
+		bin live-trace.jsonl watch-run.tsdb.gz

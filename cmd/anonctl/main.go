@@ -13,6 +13,12 @@
 //	anonctl traffic -dir d -msgs 8                 drive session traffic in-process
 //	anonctl smoke  -n 5 -msgs 8 -bin ./anonnode    full pipeline: spawn, trace, traffic,
 //	               [-trace live.jsonl] [-json]     scrape, reconcile, verdict
+//	anonctl record -dir d -out run.tsdb.gz         continuous telemetry: poll /metrics into
+//	               [-spawn -n 2 -bin ./anonnode]   an embedded time-series store, evaluate
+//	               [-for 10s] [-verify]            alert rules, stream samples to disk
+//	anonctl watch  -dir d [-interval 1s]           live dashboard: sparklines, rollups,
+//	               [-out run.tsdb.gz]              firing alerts; optionally record too
+//	anonctl replay -in run.tsdb.gz                 render a recorded run's final frame
 package main
 
 import (
@@ -41,13 +47,19 @@ func main() {
 		cmdTraffic(os.Args[2:])
 	case "smoke":
 		cmdSmoke(os.Args[2:])
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke|record|watch|replay> [flags]")
 	os.Exit(2)
 }
 

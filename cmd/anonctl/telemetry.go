@@ -1,0 +1,179 @@
+// Continuous-telemetry subcommands: record (poll a cluster into an
+// embedded time-series file), watch (live dashboard over the same
+// recorder) and replay (render a recorded run offline).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"resilientmix/internal/cluster"
+	"resilientmix/internal/obs/rules"
+	"resilientmix/internal/obs/tsdb"
+)
+
+// openOrSpawn loads the manifest at dir, or — when spawn is set —
+// generates a throwaway cluster there (a temp dir when dir is empty),
+// starts it and waits for readiness. The returned cleanup stops the
+// spawned processes (nil when attaching to a running cluster).
+func openOrSpawn(dir string, spawn bool, n int, bin string, basePort int) (cluster.Manifest, func(), error) {
+	if !spawn {
+		m, err := cluster.LoadManifest(dir)
+		return m, nil, err
+	}
+	cleanup := func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "anonctl-record-*")
+		if err != nil {
+			return cluster.Manifest{}, nil, err
+		}
+		dir = tmp
+		cleanup = func() { os.RemoveAll(tmp) }
+	}
+	m, err := cluster.Generate(dir, cluster.Spec{Nodes: n, Client: true, BasePort: basePort})
+	if err != nil {
+		cleanup()
+		return cluster.Manifest{}, nil, err
+	}
+	r, err := m.Start(bin)
+	if err != nil {
+		cleanup()
+		return cluster.Manifest{}, nil, err
+	}
+	stop := func() { r.Stop(); cleanup() }
+	if err := r.WaitReady(30 * time.Second); err != nil {
+		stop()
+		return cluster.Manifest{}, nil, err
+	}
+	return m, stop, nil
+}
+
+// runCtx is interrupted by SIGINT and, when forDur > 0, by a deadline.
+func runCtx(forDur time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	if forDur <= 0 {
+		return ctx, cancel
+	}
+	tctx, tcancel := context.WithTimeout(ctx, forDur)
+	return tctx, func() { tcancel(); cancel() }
+}
+
+// cmdRecord polls every node's /metrics on an interval into an
+// embedded time-series store, streaming samples and fired alerts to
+// the output file, until interrupted or -for elapses. With -verify it
+// then replays the file and exits non-zero unless the replayed
+// dashboard is byte-identical to the live one and no alerts fired.
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	dir := fs.String("dir", "", "cluster directory (default with -spawn: a temp dir)")
+	out := fs.String("out", "telemetry.tsdb.gz", "output time-series file (.gz for gzip)")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	forDur := fs.Duration("for", 0, "record for this long (0: until interrupted)")
+	ring := fs.Int("ring", 0, "per-series ring capacity (0: default)")
+	spawn := fs.Bool("spawn", false, "spawn a throwaway cluster instead of attaching to one")
+	n := fs.Int("n", 2, "nodes to spawn with -spawn")
+	bin := fs.String("bin", "anonnode", "anonnode binary for -spawn")
+	basePort := fs.Int("base-port", 19400, "first livenet port for -spawn")
+	verify := fs.Bool("verify", false, "after recording, verify replay fidelity and fail if any alert fired")
+	fs.Parse(args)
+
+	m, stop, err := openOrSpawn(*dir, *spawn, *n, *bin, *basePort)
+	if err != nil {
+		fatal(err)
+	}
+	if stop != nil {
+		defer stop()
+	}
+	rec, err := cluster.NewRecorder(m, cluster.RecorderConfig{
+		Interval:     *interval,
+		RingCapacity: *ring,
+		Out:          *out,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer rec.Close()
+	fmt.Printf("recording %d nodes every %s into %s\n", len(m.Nodes), *interval, *out)
+
+	ctx, cancel := runCtx(*forDur)
+	defer cancel()
+	rec.Run(ctx, func(at time.Time, fired []rules.Alert) {
+		for _, a := range fired {
+			fmt.Fprintf(os.Stderr, "alert [%s] %s: %s\n", at.Format(time.TimeOnly), a.Rule, a.Detail)
+		}
+	})
+
+	alerts := rec.Alerts()
+	fmt.Printf("recorded %d ticks, %d alerts\n", rec.Ticks(), len(alerts))
+	if !*verify {
+		return
+	}
+	if err := rec.VerifyRoundTrip(cluster.WatchOptions{}); err != nil {
+		fatal(err)
+	}
+	fmt.Println("verify: replayed dashboard is byte-identical to live")
+	if len(alerts) > 0 {
+		fmt.Fprintf(os.Stderr, "verify: %d alerts fired on a run expected clean:\n", len(alerts))
+		for _, a := range alerts {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", a.Rule, a.Detail)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("verify: no alerts fired")
+}
+
+// cmdWatch renders the live telemetry dashboard — per-node sparklines,
+// cluster rollups and firing alerts — refreshed on every poll, with
+// optional recording to a file at the same time.
+func cmdWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	dir := fs.String("dir", "cluster", "cluster directory")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	forDur := fs.Duration("for", 0, "watch for this long (0: until interrupted)")
+	window := fs.Duration("window", 10*time.Second, "rate window")
+	width := fs.Int("width", 24, "sparkline width")
+	out := fs.String("out", "", "also stream the run to this time-series file")
+	fs.Parse(args)
+
+	m, err := cluster.LoadManifest(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := cluster.NewRecorder(m, cluster.RecorderConfig{Interval: *interval, Out: *out})
+	if err != nil {
+		fatal(err)
+	}
+	defer rec.Close()
+	opts := cluster.WatchOptions{Width: *width, Window: *window}
+
+	ctx, cancel := runCtx(*forDur)
+	defer cancel()
+	rec.Run(ctx, func(time.Time, []rules.Alert) {
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		cluster.RenderWatch(os.Stdout, rec.DB(), opts)
+	})
+	fmt.Printf("\nwatched %d ticks, %d alerts\n", rec.Ticks(), len(rec.Alerts()))
+}
+
+// cmdReplay loads a recorded run and renders its final dashboard
+// frame — byte-identical to what watch showed live at the end of the
+// recording.
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "recorded time-series file (required)")
+	window := fs.Duration("window", 10*time.Second, "rate window")
+	width := fs.Int("width", 24, "sparkline width")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("replay needs -in FILE"))
+	}
+	db, err := tsdb.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	cluster.RenderWatch(os.Stdout, db, cluster.WatchOptions{Width: *width, Window: *window})
+}

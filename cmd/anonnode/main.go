@@ -26,7 +26,9 @@
 // /debug/trace?dur=5s (live NDJSON trace stream consumable by
 // anontrace). -collector switches the responder role to the
 // erasure-coded session reassembler; -trace FILE appends the node's
-// trace events to a JSONL file.
+// trace events to a JSONL file; -tsdb FILE self-samples the node's
+// registry into an embedded time-series file (consumable by `anonctl
+// replay`) every -tsdb-interval.
 package main
 
 import (
@@ -79,6 +81,8 @@ func main() {
 		debug   = flag.String("debug", "", "serve /metrics, /healthz, /readyz, /debug/vars and /debug/trace on this address")
 		collect = flag.Bool("collector", false, "responder mode: reassemble erasure-coded session traffic instead of echoing")
 		traceP  = flag.String("trace", "", "append the node's trace events to this JSONL file (.gz for gzip)")
+		tsdbP   = flag.String("tsdb", "", "self-sample the node's metrics into this time-series file (.gz for gzip)")
+		tsdbInt = flag.Duration("tsdb-interval", time.Second, "self-sampling interval for -tsdb")
 	)
 	flag.Parse()
 
@@ -151,6 +155,15 @@ func main() {
 		}
 	}()
 	fmt.Printf("node %d up at %s\n", self, node.Addr())
+
+	var sampler *selfSampler
+	if *tsdbP != "" {
+		sampler, err = startSelfSampler(*tsdbP, *tsdbInt, *id, node.Metrics())
+		if err != nil {
+			fatal(err)
+		}
+		defer sampler.Close()
+	}
 
 	var debugSrv *http.Server
 	if *debug != "" {
@@ -230,6 +243,9 @@ func main() {
 		node.Close()
 		if traceFile != nil {
 			traceFile.Close()
+		}
+		if sampler != nil {
+			sampler.Close()
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"resilientmix/internal/obs"
+	"resilientmix/internal/obs/tsdb"
+)
+
+// selfSampler records the node's own registry into an embedded
+// time-series file on an interval — the single-node counterpart of
+// `anonctl record`, for deployments with no central poller. Names are
+// sanitized and labelled node=<id>, so the file replays through
+// `anonctl replay` exactly like a cluster recording.
+type selfSampler struct {
+	reg    *obs.Registry
+	db     *tsdb.DB
+	w      *tsdb.Writer
+	labels tsdb.Labels
+	stop   chan struct{}
+	done   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func startSelfSampler(path string, interval time.Duration, id int, reg *obs.Registry) (*selfSampler, error) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	db := tsdb.New(0)
+	w, err := tsdb.Create(path, db.Capacity())
+	if err != nil {
+		return nil, err
+	}
+	s := &selfSampler{
+		reg:    reg,
+		db:     db,
+		w:      w,
+		labels: tsdb.L("node", strconv.Itoa(id)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go s.loop(interval)
+	return s, nil
+}
+
+func (s *selfSampler) loop(interval time.Duration) {
+	defer close(s.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		s.sample(time.Now())
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *selfSampler) sample(at time.Time) {
+	atMicro := at.UnixMicro()
+	tsdb.SampleSnapshot(s.db, s.w, atMicro, s.labels, s.reg.Snapshot())
+	// A self-recorded node is by definition up and serving.
+	key := tsdb.Key("up", s.labels)
+	s.db.AppendKey(key, atMicro, 1)
+	s.w.Sample(atMicro, key, 1)
+	s.w.Flush()
+}
+
+// Close stops the sampling loop and finishes the output file (the
+// gzip footer lands here). Safe to call more than once.
+func (s *selfSampler) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.closeErr = s.w.Close()
+	})
+	return s.closeErr
+}

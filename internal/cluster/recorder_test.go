@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resilientmix/internal/obs"
+	"resilientmix/internal/obs/tsdb"
+)
+
+// recNode serves a minimal anonnode debug surface from a live
+// registry.
+type recNode struct {
+	reg *obs.Registry
+	srv *httptest.Server
+}
+
+func newFakeNode(t *testing.T) *recNode {
+	t.Helper()
+	f := &recNode{reg: obs.NewRegistry()}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", f.reg.PrometheusHandler())
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *recNode) debugAddr() string { return strings.TrimPrefix(f.srv.URL, "http://") }
+
+// fastBackoff shrinks the retry budget for test speed and restores it
+// afterwards.
+func fastBackoff(t *testing.T) {
+	t.Helper()
+	attempts, base, cap := ScrapeAttempts, ScrapeBackoff, ScrapeBackoffCap
+	ScrapeAttempts, ScrapeBackoff, ScrapeBackoffCap = 3, time.Millisecond, 4*time.Millisecond
+	t.Cleanup(func() { ScrapeAttempts, ScrapeBackoff, ScrapeBackoffCap = attempts, base, cap })
+}
+
+func TestRecorderSamplesAndRoundTrips(t *testing.T) {
+	fastBackoff(t)
+	a, b := newFakeNode(t), newFakeNode(t)
+	m := Manifest{Nodes: []ManifestNode{
+		{ID: 0, Debug: a.debugAddr()},
+		{ID: 1, Debug: b.debugAddr()},
+	}}
+	out := filepath.Join(t.TempDir(), "run.tsdb.gz")
+	rec, err := NewRecorder(m, RecorderConfig{Out: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < 4; i++ {
+		a.reg.Counter("live.frames_out").Add(10)
+		a.reg.Counter("live.frames_in.data").Add(10)
+		b.reg.Counter("live.frames_out").Add(10)
+		b.reg.Counter("live.frames_in.data").Add(10)
+		b.reg.Gauge("live.forward_states").Set(float64(i))
+		if fired := rec.Sample(base.Add(time.Duration(i) * time.Second)); len(fired) != 0 {
+			t.Fatalf("healthy cluster fired alerts: %+v", fired)
+		}
+	}
+	if rec.Ticks() != 4 {
+		t.Fatalf("Ticks = %d, want 4", rec.Ticks())
+	}
+
+	db := rec.DB()
+	if s := db.Get("live_frames_out", tsdb.L("node", "0")); s == nil || s.Len() != 4 {
+		t.Fatal("frames_out not recorded per node under sanitized name")
+	}
+	if v, ok := db.Get("up", tsdb.L("node", "1")).Latest(); !ok || v.V != 1 {
+		t.Fatal("up probe not recorded")
+	}
+	if v, ok := db.Get("ready", tsdb.L("node", "0")).Latest(); !ok || v.V != 1 {
+		t.Fatal("ready probe not recorded")
+	}
+	if s := db.Get("live_forward_states", tsdb.L("node", "1")); s == nil {
+		t.Fatal("gauge not recorded")
+	}
+
+	// The streamed file must replay to a byte-identical dashboard.
+	if err := rec.VerifyRoundTrip(WatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderRetriesTransientFailures is the backoff satellite's
+// regression test: a node whose /metrics fails transiently (one 500,
+// as a GC pause or accept hiccup would look through a proxy) must
+// still scrape as up once the retry lands.
+func TestRecorderRetriesTransientFailures(t *testing.T) {
+	fastBackoff(t)
+	var calls atomic.Int64
+	reg := obs.NewRegistry()
+	reg.Counter("live.frames_out").Add(5)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 1 { // every first attempt fails
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WritePrometheus(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	m := Manifest{Nodes: []ManifestNode{{ID: 0, Debug: strings.TrimPrefix(srv.URL, "http://")}}}
+	rec, err := NewRecorder(m, RecorderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Sample(time.Unix(1700000000, 0))
+	if v, ok := rec.DB().Get("up", tsdb.L("node", "0")).Latest(); !ok || v.V != 1 {
+		t.Fatalf("transient 500 marked the node down (up=%v)", v.V)
+	}
+	if calls.Load() < 2 {
+		t.Fatalf("expected a retry, got %d calls", calls.Load())
+	}
+}
+
+// TestRecorderMarksDeadNodeDown: a node that stays unreachable after
+// the whole retry budget records up=0 and fires node-down after two
+// consecutive failed scrapes.
+func TestRecorderMarksDeadNodeDown(t *testing.T) {
+	fastBackoff(t)
+	live := newFakeNode(t)
+	dead := newFakeNode(t)
+	deadAddr := dead.debugAddr()
+	dead.srv.Close() // port now refuses connections
+
+	m := Manifest{Nodes: []ManifestNode{
+		{ID: 0, Debug: live.debugAddr()},
+		{ID: 1, Debug: deadAddr},
+	}}
+	rec, err := NewRecorder(m, RecorderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0)
+	var fired int
+	for i := 0; i < 3; i++ {
+		live.reg.Counter("live.frames_out").Add(1)
+		for _, a := range rec.Sample(base.Add(time.Duration(i) * time.Second)) {
+			if a.Rule == "node-down" {
+				fired++
+			}
+		}
+	}
+	if v, ok := rec.DB().Get("up", tsdb.L("node", "1")).Latest(); !ok || v.V != 0 {
+		t.Fatalf("dead node not recorded as down (up=%v, ok=%v)", v.V, ok)
+	}
+	if fired != 1 {
+		t.Fatalf("node-down fired %d times, want exactly 1", fired)
+	}
+	anns := rec.DB().Annotations()
+	if len(anns) != 1 || anns[0].Kind != "node-down" {
+		t.Fatalf("annotations = %+v, want the node-down alert stored in the run", anns)
+	}
+}
+
+// TestGetRetryBackoffCaps exercises the capped growth directly.
+func TestGetRetryBackoffCaps(t *testing.T) {
+	fastBackoff(t)
+	var mu sync.Mutex
+	var stamps []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		mu.Lock()
+		stamps = append(stamps, time.Now())
+		mu.Unlock()
+		http.Error(w, "always down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	_, err := getRetry(&http.Client{Timeout: time.Second}, srv.URL, true)
+	if err == nil {
+		t.Fatal("getRetry succeeded against a 500-only server")
+	}
+	if len(stamps) != ScrapeAttempts {
+		t.Fatalf("attempts = %d, want %d", len(stamps), ScrapeAttempts)
+	}
+	// A 200-status answer must not be retried.
+	var oks atomic.Int64
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		oks.Add(1)
+	}))
+	defer ok.Close()
+	resp, err := getRetry(&http.Client{Timeout: time.Second}, ok.URL, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if oks.Load() != 1 {
+		t.Fatalf("successful fetch used %d attempts, want 1", oks.Load())
+	}
+}

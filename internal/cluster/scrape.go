@@ -15,9 +15,59 @@ import (
 // own client because they intentionally stream for longer.
 var scrapeClient = &http.Client{Timeout: 5 * time.Second}
 
+// Scrape retry policy: a single-attempt fetch marks a node failed
+// whenever one request lands inside a GC pause or a TCP accept-queue
+// hiccup, so every scrape retries transport errors with capped
+// exponential backoff. Status-code answers are authoritative and are
+// only retried where noted (5xx on metric fetches, never on probes:
+// a 503 from /readyz is a definitive "not ready", not an outage).
+var (
+	// ScrapeAttempts is the per-fetch attempt budget (>= 1).
+	ScrapeAttempts = 3
+	// ScrapeBackoff is the delay after the first failed attempt;
+	// it doubles per retry up to ScrapeBackoffCap.
+	ScrapeBackoff = 100 * time.Millisecond
+	// ScrapeBackoffCap bounds the backoff growth.
+	ScrapeBackoffCap = 1 * time.Second
+)
+
+// getRetry fetches url, retrying transport errors (and, when retry5xx
+// is set, 5xx statuses) with capped exponential backoff. On success
+// the caller owns the response body.
+func getRetry(client *http.Client, url string, retry5xx bool) (*http.Response, error) {
+	attempts := ScrapeAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := ScrapeBackoff
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > ScrapeBackoffCap {
+				backoff = ScrapeBackoffCap
+			}
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retry5xx && resp.StatusCode >= 500 {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("status %d from %s", resp.StatusCode, url)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
 // probeReady asks one node's /readyz and returns its failure, if any.
 func probeReady(debugAddr string) error {
-	resp, err := scrapeClient.Get("http://" + debugAddr + "/readyz")
+	resp, err := getRetry(scrapeClient, "http://"+debugAddr+"/readyz", false)
 	if err != nil {
 		return err
 	}
@@ -57,7 +107,7 @@ func ScrapeNode(id int, debugAddr string) NodeStatus {
 	// Liveness and readiness first: a node that answers /healthz but
 	// fails /readyz is alive-but-degraded, which anomaly detection
 	// wants to distinguish from unreachable.
-	if resp, err := scrapeClient.Get("http://" + debugAddr + "/healthz"); err == nil {
+	if resp, err := getRetry(scrapeClient, "http://"+debugAddr+"/healthz", false); err == nil {
 		st.Healthy = resp.StatusCode == http.StatusOK
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -68,7 +118,7 @@ func ScrapeNode(id int, debugAddr string) NodeStatus {
 		st.Ready = true
 	}
 
-	resp, err := scrapeClient.Get("http://" + debugAddr + "/debug/vars")
+	resp, err := getRetry(scrapeClient, "http://"+debugAddr+"/debug/vars", true)
 	if err != nil {
 		st.Err = err.Error()
 		return st
@@ -85,7 +135,7 @@ func ScrapeNode(id int, debugAddr string) NodeStatus {
 	// Prometheus cross-check: the exposition must parse, and because
 	// counters are monotonic and /metrics is read after /debug/vars,
 	// every counter family must be at or above the JSON value.
-	resp, err = scrapeClient.Get("http://" + debugAddr + "/metrics")
+	resp, err = getRetry(scrapeClient, "http://"+debugAddr+"/metrics", true)
 	if err != nil {
 		st.Err = fmt.Sprintf("metrics: %v", err)
 		return st

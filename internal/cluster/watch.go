@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"resilientmix/internal/obs/tsdb"
+)
+
+// WatchOptions tunes the watch dashboard rendering.
+type WatchOptions struct {
+	// Width is the sparkline width in cells (default 24).
+	Width int
+	// Window bounds rate computations (default 10s).
+	Window time.Duration
+}
+
+func (o WatchOptions) width() int {
+	if o.Width <= 0 {
+		return 24
+	}
+	return o.Width
+}
+
+func (o WatchOptions) windowMicros() int64 {
+	if o.Window <= 0 {
+		return (10 * time.Second).Microseconds()
+	}
+	return o.Window.Microseconds()
+}
+
+// sparkLevels are the eighth-block ramp cells of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values (oldest first) as a fixed-width sparkline,
+// scaled to the window maximum; missing leading cells pad with
+// spaces. NaN and negative values render as the lowest cell.
+func spark(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	var max float64
+	for _, v := range vals {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	out := make([]rune, 0, width)
+	for i := len(vals); i < width; i++ {
+		out = append(out, ' ')
+	}
+	for _, v := range vals {
+		idx := 0
+		if max > 0 && !math.IsNaN(v) && v > 0 {
+			idx = int(v / max * float64(len(sparkLevels)-1))
+			if idx >= len(sparkLevels) {
+				idx = len(sparkLevels) - 1
+			}
+		}
+		out = append(out, sparkLevels[idx])
+	}
+	return string(out)
+}
+
+// watchNodes lists the node label values present in the store, sorted
+// numerically (lexically for non-numeric labels).
+func watchNodes(db *tsdb.DB) []string {
+	var nodes []string
+	for _, s := range db.ByName("up") {
+		if n := s.Labels.Get("node"); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		a, errA := strconv.Atoi(nodes[i])
+		b, errB := strconv.Atoi(nodes[j])
+		if errA == nil && errB == nil {
+			return a < b
+		}
+		return nodes[i] < nodes[j]
+	})
+	return nodes
+}
+
+// nodeRate sums the windowed per-second rates of every series of one
+// node matching the pattern.
+func nodeRate(db *tsdb.DB, pattern, node string, win int64) float64 {
+	var sum float64
+	for _, s := range db.Match(pattern) {
+		if s.Labels.Get("node") != node {
+			continue
+		}
+		if v, ok := s.RatePerSec(win); ok {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// nodeLatest sums the latest values of every series of one node
+// matching the pattern.
+func nodeLatest(db *tsdb.DB, pattern, node string) float64 {
+	var sum float64
+	for _, s := range db.Match(pattern) {
+		if s.Labels.Get("node") != node {
+			continue
+		}
+		if p, ok := s.Latest(); ok {
+			sum += p.V
+		}
+	}
+	return sum
+}
+
+// clusterTailRates sums per-tick rates across every series matching
+// the pattern, aligned by sample timestamp, and returns the most
+// recent n sums, oldest first — the cluster rollup sparkline feed.
+func clusterTailRates(db *tsdb.DB, pattern string, n int) []float64 {
+	sums := make(map[int64]float64)
+	for _, s := range db.Match(pattern) {
+		pts := s.Points()
+		for i := 1; i < len(pts); i++ {
+			d := pts[i].V - pts[i-1].V
+			if d < 0 {
+				d = pts[i].V
+			}
+			span := float64(pts[i].At-pts[i-1].At) / 1e6
+			if span <= 0 {
+				continue
+			}
+			sums[pts[i].At] += d / span
+		}
+	}
+	ats := make([]int64, 0, len(sums))
+	for at := range sums {
+		ats = append(ats, at)
+	}
+	sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+	if len(ats) > n {
+		ats = ats[len(ats)-n:]
+	}
+	out := make([]float64, len(ats))
+	for i, at := range ats {
+		out[i] = sums[at]
+	}
+	return out
+}
+
+// clusterRate sums windowed rates across every series matching the
+// pattern.
+func clusterRate(db *tsdb.DB, pattern string, win int64) float64 {
+	var sum float64
+	for _, s := range db.Match(pattern) {
+		if v, ok := s.RatePerSec(win); ok {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// clusterLatest sums latest values across every series matching the
+// pattern.
+func clusterLatest(db *tsdb.DB, pattern string) float64 {
+	var sum float64
+	for _, s := range db.Match(pattern) {
+		if p, ok := s.Latest(); ok {
+			sum += p.V
+		}
+	}
+	return sum
+}
+
+// RenderWatch renders the telemetry dashboard — per-node rows with
+// sparklines, cluster rollups, and the alert log — purely from the
+// store's retained state: a live store and its reloaded recording
+// render byte-identically, which is the `anonctl record`/`replay`
+// golden contract. Times render relative to the first retained
+// sample, so the output carries no wall-clock dependence beyond the
+// recording itself.
+func RenderWatch(w io.Writer, db *tsdb.DB, opts WatchOptions) {
+	first, last, ok := db.Bounds()
+	if !ok {
+		fmt.Fprintln(w, "telemetry: no samples")
+		return
+	}
+	win := opts.windowMicros()
+	width := opts.width()
+	nodes := watchNodes(db)
+
+	ticks := 0
+	for _, s := range db.ByName("up") {
+		if n := s.Len(); n > ticks {
+			ticks = n
+		}
+	}
+	fmt.Fprintf(w, "telemetry — %d nodes · %d ticks retained · span %.1fs · window %.0fs\n\n",
+		len(nodes), ticks, float64(last-first)/1e6, float64(win)/1e6)
+
+	fmt.Fprintf(w, "%-5s %-3s %-5s %9s  %-*s %8s %8s %8s %6s %6s\n",
+		"node", "up", "ready", "out/s", width, "history", "in/s", "sent/s", "acked/s", "fwd", "rev")
+	for _, n := range nodes {
+		label := tsdb.L("node", n)
+		upDown := "-"
+		if v, ok := latest(db, "up", label); ok {
+			upDown = "ok"
+			if v < 1 {
+				upDown = "DOWN"
+			}
+		}
+		ready := "-"
+		if v, ok := latest(db, "ready", label); ok {
+			ready = "ok"
+			if v < 1 {
+				ready = "FAIL"
+			}
+		}
+		var hist []float64
+		if s := db.Get("live_frames_out", label); s != nil {
+			hist = s.TailRates(width)
+		}
+		fmt.Fprintf(w, "%-5s %-3s %-5s %9.1f  %-*s %8.1f %8.1f %8.1f %6.0f %6.0f\n",
+			n, upDown, ready,
+			nodeRate(db, "live_frames_out", n, win),
+			width, spark(hist, width),
+			nodeRate(db, "live_frames_in_*", n, win),
+			nodeRate(db, "session_segments_sent", n, win),
+			nodeRate(db, "session_segments_acked", n, win),
+			nodeLatest(db, "live_forward_states", n),
+			nodeLatest(db, "live_reverse_states", n))
+	}
+
+	fmt.Fprintf(w, "\ncluster  out/s %.1f  %s\n",
+		clusterRate(db, "live_frames_out", win),
+		spark(clusterTailRates(db, "live_frames_out", width), width))
+	sent := clusterRate(db, "session_segments_sent", win)
+	acked := clusterRate(db, "session_segments_acked", win)
+	loss := 0.0
+	if sent > 0 {
+		loss = 1 - acked/sent
+		if loss < 0 {
+			loss = 0
+		}
+	}
+	fmt.Fprintf(w, "         sent/s %.1f  acked/s %.1f  loss %.1f%%  delivered %.0f  paths_built %.0f  paths_dead %.0f\n",
+		sent, acked, loss*100,
+		clusterLatest(db, "recv_delivered"),
+		clusterLatest(db, "live_paths_built"),
+		clusterLatest(db, "session_paths_dead"))
+
+	anns := db.Annotations()
+	if len(anns) == 0 {
+		fmt.Fprintln(w, "alerts: none")
+		return
+	}
+	fmt.Fprintf(w, "alerts (%d):\n", len(anns))
+	for _, a := range anns {
+		where := "cluster"
+		if a.Series != "" {
+			where = a.Series
+			if _, labels, err := tsdb.ParseKey(a.Series); err == nil {
+				if n := labels.Get("node"); n != "" {
+					where = "node " + n
+				}
+			}
+		}
+		fmt.Fprintf(w, "  +%.1fs  [%s] %s: %s\n", float64(a.At-first)/1e6, where, a.Kind, a.Detail)
+	}
+}
+
+// latest reads one series' latest value.
+func latest(db *tsdb.DB, name string, labels tsdb.Labels) (float64, bool) {
+	s := db.Get(name, labels)
+	if s == nil {
+		return 0, false
+	}
+	p, ok := s.Latest()
+	return p.V, ok
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientmix/internal/obs/rules"
+	"resilientmix/internal/obs/tsdb"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildRecordedRun synthesizes the store a recorder would produce
+// from a 3-node cluster run with one injected relay failure (node 2
+// silent from t=10s) and one repair spike (20 path deaths at t=20s),
+// evaluating the default rules each tick exactly as the recorder
+// does.
+func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
+	db := tsdb.New(128)
+	eng := rules.NewEngine(rules.Defaults()...)
+	var alerts []rules.Alert
+	for i := 0; i <= 30; i++ {
+		at := int64(i) * 1e6
+		for _, n := range []string{"0", "1", "2"} {
+			l := tsdb.L("node", n)
+			db.Append("up", l, at, 1)
+			db.Append("ready", l, at, 1)
+			db.Append("live_frames_out", l, at, float64(i*10))
+			in := float64(i * 10)
+			if n == "2" && i > 10 {
+				in = 100 // silent: counter frozen at its t=10 value
+			}
+			db.Append("live_frames_in_data", l, at, in)
+			db.Append("live_forward_states", l, at, 2)
+			db.Append("live_reverse_states", l, at, 1)
+		}
+		// Node 0 is the initiator; node 1 terminates sessions.
+		l0 := tsdb.L("node", "0")
+		db.Append("session_segments_sent", l0, at, float64(i*4))
+		db.Append("session_segments_acked", l0, at, float64(i*4))
+		dead := 0.0
+		if i >= 20 {
+			dead = 20
+		}
+		db.Append("session_paths_dead", l0, at, dead)
+		db.Append("recv_delivered", tsdb.L("node", "1"), at, float64(i))
+
+		fired := eng.Eval(db, at)
+		alerts = append(alerts, fired...)
+		for _, a := range fired {
+			db.Annotate(a.Annotation())
+		}
+	}
+	return db, alerts
+}
+
+// TestWatchGolden pins the dashboard rendering of the synthetic
+// recorded run, and with it the acceptance scenario: the injected
+// relay failure and repair spike each fire exactly one alert, both
+// visible in the render.
+func TestWatchGolden(t *testing.T) {
+	db, alerts := buildRecordedRun()
+
+	count := map[string]int{}
+	for _, a := range alerts {
+		count[a.Rule]++
+	}
+	if count["silent-relay"] != 1 || count["repair-spike"] != 1 || len(alerts) != 2 {
+		t.Fatalf("injected failures: alerts = %+v, want exactly one silent-relay and one repair-spike", alerts)
+	}
+
+	var b strings.Builder
+	RenderWatch(&b, db, WatchOptions{})
+	got := b.String()
+
+	golden := filepath.Join("testdata", "watch.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("watch render drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	for _, needle := range []string{"silent-relay", "repair-spike", "alerts (2)"} {
+		if !strings.Contains(got, needle) {
+			t.Errorf("render is missing %q", needle)
+		}
+	}
+}
+
+// TestRecordReplayRenderIdentical is the record/replay fidelity
+// contract: writing the run to disk (plain and gzip) and reloading
+// it must render the watch dashboard byte-identically to the live
+// store.
+func TestRecordReplayRenderIdentical(t *testing.T) {
+	db, _ := buildRecordedRun()
+	var live strings.Builder
+	RenderWatch(&live, db, WatchOptions{})
+
+	for _, name := range []string{"run.tsdb", "run.tsdb.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := db.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		reloaded, err := tsdb.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var replay strings.Builder
+		RenderWatch(&replay, reloaded, WatchOptions{})
+		if live.String() != replay.String() {
+			t.Errorf("%s: replay render differs from live:\n--- live ---\n%s--- replay ---\n%s",
+				name, live.String(), replay.String())
+		}
+	}
+}
+
+// TestRenderAfterRingOverflow: render identity must survive ring
+// wrap-around, because replay reconstructs only the retained window.
+func TestRenderAfterRingOverflow(t *testing.T) {
+	db := tsdb.New(8)
+	for i := 0; i < 40; i++ {
+		at := int64(i) * 1e6
+		db.Append("up", tsdb.L("node", "0"), at, 1)
+		db.Append("live_frames_out", tsdb.L("node", "0"), at, float64(i*7))
+	}
+	var live strings.Builder
+	RenderWatch(&live, db, WatchOptions{})
+
+	path := filepath.Join(t.TempDir(), "wrap.tsdb")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := tsdb.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay strings.Builder
+	RenderWatch(&replay, reloaded, WatchOptions{})
+	if live.String() != replay.String() {
+		t.Errorf("overflowed ring replay differs:\n--- live ---\n%s--- replay ---\n%s", live.String(), replay.String())
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	RenderWatch(&b, tsdb.New(4), WatchOptions{Window: 5 * time.Second})
+	if !strings.Contains(b.String(), "no samples") {
+		t.Fatalf("empty render = %q", b.String())
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("spark ramp = %q", got)
+	}
+	if got := spark([]float64{1, 1}, 4); got != "  ██" {
+		t.Errorf("spark pad = %q", got)
+	}
+	if got := spark(nil, 3); got != "   " {
+		t.Errorf("spark empty = %q", got)
+	}
+}

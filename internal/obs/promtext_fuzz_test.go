@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrometheus throws arbitrary byte streams at the strict
+// 0.0.4 parser. The parser may reject input, but it must never panic,
+// and whatever it accepts must satisfy the grammar's structural
+// invariants (valid names, consistent family attachment). Accepted
+// input must also survive one parse→re-serialize→parse round trip of
+// its label-free scalar samples.
+func FuzzParsePrometheus(f *testing.F) {
+	seeds := []string{
+		// Well-formed output of WritePrometheus.
+		"# TYPE live_frames_out counter\nlive_frames_out 42\n",
+		"# TYPE hop_latency histogram\nhop_latency_bucket{le=\"0.1\"} 1\nhop_latency_bucket{le=\"+Inf\"} 3\nhop_latency_sum 0.5\nhop_latency_count 3\n",
+		// Label escaping corners.
+		"m{a=\"x\\\\y\"} 1\n",
+		"m{a=\"line\\nbreak\"} 1\n",
+		"m{a=\"qu\\\"ote\"} 1\n",
+		"m{a=\"\"} 1\n",
+		"m{a=\"v\",b=\"w\"} 1\n",
+		"m{ a=\"v\" , b=\"w\" } 1\n",
+		// Special float values and timestamps.
+		"m NaN\nn +Inf\no -Inf\n",
+		"m 1.5e-9 1700000000000\n",
+		// Malformed HELP/TYPE lines.
+		"# HELP\n",
+		"# HELP 1bad text\n",
+		"# TYPE m\n",
+		"# TYPE m wat\n",
+		"# TYPE m counter extra\n",
+		"# TYPE m counter\n# TYPE m counter\n",
+		"# just a comment\n#\n",
+		// Malformed samples.
+		"1leading_digit 1\n",
+		"m{a=\"unterminated 1\n",
+		"m{a=\"bad\\escape\"} 1\n",
+		"m{=\"v\"} 1\n",
+		"m 1 2 3\n",
+		"m\n",
+		"m{} \n",
+		// Suffix attachment without a histogram TYPE.
+		"x_bucket{le=\"1\"} 2\n",
+		"# TYPE x histogram\nx_bucket{le=\"1\"} 2\nx_sum 1\nx_count 2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		fams, err := ParsePrometheus(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		snap := Snapshot{Gauges: map[string]float64{}}
+		for key, fam := range fams {
+			if fam.Name != key {
+				t.Fatalf("family keyed %q has Name %q", key, fam.Name)
+			}
+			if !validPromName(fam.Name) {
+				t.Fatalf("accepted invalid family name %q", fam.Name)
+			}
+			switch fam.Type {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("family %q has invalid type %q", fam.Name, fam.Type)
+			}
+			for _, s := range fam.Samples {
+				if !validPromName(s.Name) {
+					t.Fatalf("accepted invalid sample name %q", s.Name)
+				}
+				if s.Name != fam.Name && fam.Type != "histogram" && fam.Type != "summary" {
+					t.Fatalf("sample %q attached to scalar family %q", s.Name, fam.Name)
+				}
+				for l := range s.Labels {
+					if !validPromLabelName(l) {
+						t.Fatalf("accepted invalid label name %q", l)
+					}
+				}
+				// Collect label-free scalars for the round trip. NaN is
+				// skipped: NaN != NaN breaks map-keyed comparison and the
+				// encoder emits it faithfully anyway (covered by seeds).
+				if len(s.Labels) == 0 && s.Name == fam.Name &&
+					(fam.Type == "gauge" || fam.Type == "untyped") && !math.IsNaN(s.Value) {
+					snap.Gauges[SanitizePromName(s.Name)] = s.Value
+				}
+			}
+		}
+
+		// Whatever the strict parser accepted, the encoder must emit in a
+		// form the parser accepts again, with equal values.
+		var b strings.Builder
+		if err := WritePrometheus(&b, snap); err != nil {
+			t.Fatalf("re-encoding accepted input: %v", err)
+		}
+		fams2, err := ParsePrometheus(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("re-parsing encoder output %q: %v", b.String(), err)
+		}
+		for name, want := range snap.Gauges {
+			fam, ok := fams2[name]
+			if !ok {
+				t.Fatalf("gauge %q lost in round trip", name)
+			}
+			got, ok := fam.Value()
+			if !ok || got != want {
+				t.Fatalf("gauge %q = %v after round trip, want %v", name, got, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{At: int64(i)})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		if e.At != int64(i) {
+			t.Fatalf("Events()[%d].At = %d, want %d", i, e.At, i)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Emit(Event{At: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len after wrap = %d, want 4", r.Len())
+	}
+	if r.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", r.Total())
+	}
+	evs := r.Events()
+	want := []int64{7, 8, 9, 10}
+	for i, w := range want {
+		if evs[i].At != w {
+			t.Fatalf("Events() = %v..., want oldest-first %v", evs, want)
+		}
+	}
+
+	// Exactly-full boundary: next has wrapped to 0 but nothing is
+	// overwritten yet.
+	r2 := NewRing(3)
+	for i := 0; i < 3; i++ {
+		r2.Emit(Event{At: int64(i)})
+	}
+	evs = r2.Events()
+	if len(evs) != 3 || evs[0].At != 0 || evs[2].At != 2 {
+		t.Fatalf("exactly-full Events() = %v", evs)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(Event{At: 1})
+	r.Emit(Event{At: 2})
+	r.Emit(Event{At: 3})
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("after Reset: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	r.Emit(Event{At: 9})
+	if evs := r.Events(); len(evs) != 1 || evs[0].At != 9 {
+		t.Fatalf("emit after Reset: %v", evs)
+	}
+}
+
+func TestRingCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+// TestRingConcurrent hammers Emit from several goroutines while
+// snapshots run; run with -race. Snapshots must always be internally
+// consistent: oldest-first with strictly increasing At values (each
+// writer emits a disjoint, increasing At sequence per goroutine is not
+// guaranteed across goroutines, so we only check lengths and that no
+// zero-value "torn" events appear once the ring has filled).
+func TestRingConcurrent(t *testing.T) {
+	const writers = 4
+	const perWriter = 2000
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Emit(Event{At: int64(w*perWriter+i) + 1, Node: w})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		evs := r.Events()
+		if n := len(evs); n > 64 {
+			t.Fatalf("snapshot holds %d events, capacity 64", n)
+		}
+		select {
+		case <-done:
+			evs := r.Events()
+			if len(evs) != 64 {
+				t.Fatalf("final Len = %d, want full ring", len(evs))
+			}
+			for i, e := range evs {
+				if e.At == 0 {
+					t.Fatalf("torn/zero event at %d after %d emits", i, r.Total())
+				}
+			}
+			if r.Total() != writers*perWriter {
+				t.Fatalf("Total = %d, want %d", r.Total(), writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package rules
+
+import "time"
+
+// Default rule parameters. Metric names are the sanitized Prometheus
+// forms the recorder stores (internal/cluster writes one series per
+// /metrics sample per node, plus synthetic up/ready probes).
+const (
+	// DefaultWindow bounds rate and burn observations.
+	DefaultWindow = 10 * time.Second
+	// silentWindow is shorter: a relay that moved nothing for 5s
+	// while the cluster carried traffic is already suspicious.
+	silentWindow = 5 * time.Second
+	// flapWindow bounds the readiness flap count.
+	flapWindow = 20 * time.Second
+)
+
+// micros converts a duration to the microsecond windows rules use.
+func micros(d time.Duration) int64 { return d.Microseconds() }
+
+// Defaults is the standing cluster ruleset — the continuous
+// generalization of the one-shot anomaly checks in
+// internal/cluster.DetectAnomalies:
+//
+//   - node-down: a node failed two consecutive scrapes.
+//   - readiness-flap: a node's /readyz answer changed 3+ times in
+//     20s — the probe is oscillating, not settling.
+//   - silent-relay: a reachable node saw no inbound frames for 5s
+//     while the cluster as a whole moved traffic.
+//   - segment-loss-slo: the session-level loss ratio
+//     (1 - acked/sent) burned past 50% over 10s for two consecutive
+//     evaluations.
+//   - repair-spike: paths died at more than one death per four
+//     segments sent over 10s — the paper's repair machinery is
+//     thrashing rather than absorbing failures.
+func Defaults() []Rule {
+	return []Rule{
+		{
+			Name: "node-down", Kind: Threshold, Metric: "up", PerNode: true,
+			Op: OpLT, Value: 1, For: 2,
+		},
+		{
+			Name: "readiness-flap", Kind: Flap, Metric: "ready", PerNode: true,
+			Op: OpGT, Value: 2, Window: micros(flapWindow),
+		},
+		{
+			Name: "silent-relay", Kind: Absence, Metric: "live_frames_in_*", PerNode: true,
+			RefMetric: "live_frames_out", MinRef: 1, Window: micros(silentWindow),
+		},
+		{
+			Name: "segment-loss-slo", Kind: BurnRate,
+			Num: "session_segments_acked", Den: "session_segments_sent", Complement: true,
+			Op: OpGT, Value: 0.5, Window: micros(DefaultWindow), For: 2,
+		},
+		{
+			Name: "repair-spike", Kind: BurnRate,
+			Num: "session_paths_dead", Den: "session_segments_sent",
+			Op: OpGT, Value: 0.25, Window: micros(DefaultWindow),
+		},
+	}
+}

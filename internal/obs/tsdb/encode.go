@@ -1,0 +1,243 @@
+package tsdb
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// On-disk format: append-only JSONL, gzip when the path ends in .gz.
+// Three record shapes, distinguished by their leading field:
+//
+//	{"tsdb":1,"cap":1024}                                  header (first line)
+//	{"at":12,"s":"live_frames_out{node=\"0\"}","v":"42"}   sample
+//	{"at":12,"kind":"silent-relay","series":"...","v":"0","detail":"..."}  annotation
+//
+// Encoding is hand-rolled with a fixed field order, and values are
+// carried as strings (strconv shortest form), which keeps NaN and the
+// Inf spellings representable and equal DBs encoding to equal bytes.
+// Readers use encoding/json per line — the format is still plain JSON.
+
+// FormatVersion is the on-disk schema version in the header line.
+const FormatVersion = 1
+
+// Writer streams samples and annotations to an append-only tsdb file.
+// Safe for concurrent use. Close is mandatory: it flushes the buffer
+// and finishes the gzip stream.
+type Writer struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	gz      *gzip.Writer
+	f       *os.File
+	scratch []byte
+}
+
+// Create truncates (or creates) a tsdb file at path and writes the
+// header. The capacity is recorded so a reload rebuilds rings with the
+// same drop behavior.
+func Create(path string, capacity int) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f}
+	if strings.HasSuffix(path, ".gz") {
+		w.gz = gzip.NewWriter(f)
+		w.bw = bufio.NewWriterSize(w.gz, 1<<16)
+	} else {
+		w.bw = bufio.NewWriterSize(f, 1<<16)
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	fmt.Fprintf(w.bw, "{\"tsdb\":%d,\"cap\":%d}\n", FormatVersion, capacity)
+	return w, nil
+}
+
+// appendQuoted appends the JSON string encoding of s.
+func appendQuoted(b []byte, s string) []byte {
+	q, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return append(b, `""`...)
+	}
+	return append(b, q...)
+}
+
+// appendValue appends the sample value as a JSON string.
+func appendValue(b []byte, v float64) []byte {
+	b = append(b, '"')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '"')
+}
+
+// Sample appends one sample line.
+func (w *Writer) Sample(at int64, key string, v float64) {
+	w.mu.Lock()
+	b := w.scratch[:0]
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, at, 10)
+	b = append(b, `,"s":`...)
+	b = appendQuoted(b, key)
+	b = append(b, `,"v":`...)
+	b = appendValue(b, v)
+	b = append(b, '}', '\n')
+	w.bw.Write(b)
+	w.scratch = b
+	w.mu.Unlock()
+}
+
+// Annotate appends one annotation line.
+func (w *Writer) Annotate(a Annotation) {
+	w.mu.Lock()
+	b := w.scratch[:0]
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, a.At, 10)
+	b = append(b, `,"kind":`...)
+	b = appendQuoted(b, a.Kind)
+	b = append(b, `,"series":`...)
+	b = appendQuoted(b, a.Series)
+	b = append(b, `,"v":`...)
+	b = appendValue(b, a.Value)
+	b = append(b, `,"detail":`...)
+	b = appendQuoted(b, a.Detail)
+	b = append(b, '}', '\n')
+	w.bw.Write(b)
+	w.scratch = b
+	w.mu.Unlock()
+}
+
+// Flush drains buffered output to the file (the gzip stream, if any,
+// keeps running).
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// Close flushes everything, finishes the gzip stream and closes the
+// file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.bw.Flush()
+	if w.gz != nil {
+		if e := w.gz.Close(); err == nil {
+			err = e
+		}
+	}
+	if e := w.f.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+// WriteFile dumps the DB to path in one pass: header, then every
+// series' retained points in key order, then annotations. Because
+// keys are iterated sorted and points oldest-first, equal DBs produce
+// equal files.
+func (db *DB) WriteFile(path string) error {
+	w, err := Create(path, db.cap)
+	if err != nil {
+		return err
+	}
+	for _, s := range db.All() {
+		key := s.Key()
+		for _, p := range s.Points() {
+			w.Sample(p.At, key, p.V)
+		}
+	}
+	for _, a := range db.Annotations() {
+		w.Annotate(a)
+	}
+	return w.Close()
+}
+
+// record is the parse-side union of the three line shapes.
+type record struct {
+	Tsdb   int    `json:"tsdb"`
+	Cap    int    `json:"cap"`
+	At     int64  `json:"at"`
+	S      string `json:"s"`
+	V      string `json:"v"`
+	Kind   string `json:"kind"`
+	Series string `json:"series"`
+	Detail string `json:"detail"`
+}
+
+// ReadFile loads a tsdb file (gzip detected from content, not name)
+// into a fresh DB with the recorded ring capacity.
+func ReadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = bufio.NewReaderSize(f, 1<<16)
+	if magic, err := r.(*bufio.Reader).Peek(2); err == nil && len(magic) == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Read(r)
+}
+
+// Read loads a tsdb stream into a fresh DB.
+func Read(r io.Reader) (*DB, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var db *DB
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("tsdb: line %d: %w", lineNo, err)
+		}
+		switch {
+		case rec.Tsdb != 0:
+			if rec.Tsdb != FormatVersion {
+				return nil, fmt.Errorf("tsdb: line %d: unsupported format version %d", lineNo, rec.Tsdb)
+			}
+			if db != nil {
+				return nil, fmt.Errorf("tsdb: line %d: duplicate header", lineNo)
+			}
+			db = New(rec.Cap)
+		case db == nil:
+			return nil, fmt.Errorf("tsdb: line %d: missing header", lineNo)
+		case rec.Kind != "":
+			v, err := strconv.ParseFloat(rec.V, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: line %d: bad value %q", lineNo, rec.V)
+			}
+			db.Annotate(Annotation{At: rec.At, Kind: rec.Kind, Series: rec.Series, Value: v, Detail: rec.Detail})
+		case rec.S != "":
+			v, err := strconv.ParseFloat(rec.V, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: line %d: bad value %q", lineNo, rec.V)
+			}
+			db.AppendKey(rec.S, rec.At, v)
+		default:
+			return nil, fmt.Errorf("tsdb: line %d: unrecognized record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if db == nil {
+		return nil, fmt.Errorf("tsdb: empty stream")
+	}
+	return db, nil
+}
