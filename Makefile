@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke lint-http clean
+.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke profile-smoke lint-http clean
 
 all: build test
 
@@ -84,8 +84,19 @@ watch-smoke:
 		-for 4s -interval 500ms -out watch-run.tsdb.gz -verify
 	$(GO) run ./cmd/anonctl replay -in watch-run.tsdb.gz
 
+# Cluster-profiling smoke: spawn a 5-node cluster, harvest CPU + heap
+# profiles from every node's gated /debug/pprof concurrently while
+# session traffic flows, merge them into one cluster profile, and
+# attribute cost to subsystem buckets. The onion-crypto bucket must be
+# non-empty — if it is, the profile missed the data plane.
+profile-smoke:
+	$(GO) build -o bin/anonnode ./cmd/anonnode
+	$(GO) run ./cmd/anonctl profile -spawn -n 5 -bin bin/anonnode \
+		-seconds 4 -msgs 6 -require onioncrypt
+
 # Repo-local HTTP hygiene lint: no bare http.ListenAndServe, every
-# http.Server literal sets ReadHeaderTimeout. See ci/linthttp.
+# http.Server literal sets ReadHeaderTimeout, and net/http/pprof stays
+# confined to the gated debug mux. See ci/linthttp.
 lint-http:
 	$(GO) run ./ci/linthttp
 
@@ -95,6 +106,7 @@ fuzz:
 	$(GO) test ./internal/core -fuzz FuzzDecodeAppMsg -fuzztime 20s
 	$(GO) test ./internal/onion -fuzz FuzzParseConstructLayer -fuzztime 20s
 	$(GO) test ./internal/obs -run '^$$' -fuzz FuzzParsePrometheus -fuzztime 20s
+	$(GO) test ./internal/obs/prof -run '^$$' -fuzz FuzzParsePprof -fuzztime 20s
 
 cover:
 	$(GO) test -cover ./...

@@ -1,5 +1,5 @@
-// Command linthttp is a repo-local static check for the two HTTP
-// hygiene rules this codebase enforces on every debug/metrics server:
+// Command linthttp is a repo-local static check for the HTTP hygiene
+// rules this codebase enforces on every debug/metrics server:
 //
 //  1. No package-level http.ListenAndServe / http.ListenAndServeTLS
 //     calls. Those construct an http.Server with no timeouts at all, so
@@ -9,6 +9,19 @@
 //     That is the one timeout that is always safe to set — it bounds
 //     header parsing without constraining long-lived streaming
 //     responses like /debug/trace.
+//  3. "net/http/pprof" may be imported only from internal/livenet.
+//     That package's init() registers the profiling handlers on
+//     http.DefaultServeMux; internal/livenet mounts them on an explicit
+//     mux behind the gated -debug listener and never serves the default
+//     mux, which is what keeps CPU/heap profiles off the
+//     anonymity-critical listeners. An import anywhere else would put
+//     profile handlers one DefaultServeMux-serving server away from
+//     public exposure.
+//  4. No package-level http.Handle / http.HandleFunc calls. Those
+//     register on http.DefaultServeMux, the same mux net/http/pprof
+//     (and expvar) self-register on — a server built around it would
+//     silently expose every such handler. Handlers must be mounted on
+//     an explicitly constructed mux.
 //
 // Usage: go run ./ci/linthttp [dir]   (default ".")
 //
@@ -66,7 +79,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "linthttp:", err)
 			os.Exit(2)
 		}
-		problems = append(problems, checkFile(fset, f)...)
+		problems = append(problems, checkFile(fset, path, f)...)
 	}
 	if len(problems) > 0 {
 		for _, p := range problems {
@@ -97,21 +110,43 @@ func httpName(f *ast.File) string {
 	return ""
 }
 
-func checkFile(fset *token.FileSet, f *ast.File) []string {
+// importsPprof reports whether the file imports net/http/pprof under
+// any name (including blank — the import's side effect is the hazard).
+func importsPprof(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "net/http/pprof" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFile(fset *token.FileSet, path string, f *ast.File) []string {
+	var problems []string
+	if importsPprof(f) && !strings.Contains(filepath.ToSlash(path), "internal/livenet/") {
+		problems = append(problems, fmt.Sprintf(
+			"%s: net/http/pprof registers on DefaultServeMux; import it only from internal/livenet (gated debug mux)",
+			fset.Position(f.Pos())))
+	}
 	pkg := httpName(f)
 	if pkg == "" {
-		return nil
+		return problems
 	}
-	var problems []string
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg &&
-					(sel.Sel.Name == "ListenAndServe" || sel.Sel.Name == "ListenAndServeTLS") {
-					problems = append(problems, fmt.Sprintf(
-						"%s: %s.%s has no timeouts; build an %s.Server with ReadHeaderTimeout instead",
-						fset.Position(n.Pos()), pkg, sel.Sel.Name, pkg))
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg {
+					switch sel.Sel.Name {
+					case "ListenAndServe", "ListenAndServeTLS":
+						problems = append(problems, fmt.Sprintf(
+							"%s: %s.%s has no timeouts; build an %s.Server with ReadHeaderTimeout instead",
+							fset.Position(n.Pos()), pkg, sel.Sel.Name, pkg))
+					case "Handle", "HandleFunc":
+						problems = append(problems, fmt.Sprintf(
+							"%s: %s.%s registers on DefaultServeMux (where net/http/pprof self-registers); mount on an explicit mux",
+							fset.Position(n.Pos()), pkg, sel.Sel.Name))
+					}
 				}
 			}
 		case *ast.CompositeLit:

@@ -19,6 +19,9 @@
 //	anonctl watch  -dir d [-interval 1s]           live dashboard: sparklines, rollups,
 //	               [-out run.tsdb.gz]              firing alerts; optionally record too
 //	anonctl replay -in run.tsdb.gz                 render a recorded run's final frame
+//	anonctl profile -spawn -n 5 -bin ./anonnode    harvest /debug/pprof CPU+heap from every
+//	               [-seconds 5] [-baseline b.json] node, merge, attribute per subsystem,
+//	               [-require onioncrypt] [-json]   gate against a committed baseline
 package main
 
 import (
@@ -53,13 +56,15 @@ func main() {
 		cmdWatch(os.Args[2:])
 	case "replay":
 		cmdReplay(os.Args[2:])
+	case "profile":
+		cmdProfile(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke|record|watch|replay> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke|record|watch|replay|profile> [flags]")
 	os.Exit(2)
 }
 

@@ -21,10 +21,12 @@
 //	         -send "hello" -relays 1,2,3 -to 4
 //
 // With -debug ADDR the node serves its observability surface:
-// /metrics (Prometheus 0.0.4), /healthz and /readyz probes, /health
-// (JSON report), /debug/vars (expvar-style JSON counters) and
-// /debug/trace?dur=5s (live NDJSON trace stream consumable by
-// anontrace). -collector switches the responder role to the
+// /metrics (Prometheus 0.0.4, including runtime.* process telemetry),
+// /healthz and /readyz probes, /health (JSON report), /debug/vars
+// (expvar-style JSON counters), /debug/trace?dur=5s (live NDJSON
+// trace stream consumable by anontrace) and /debug/pprof/* (CPU,
+// heap, goroutine, mutex, block and allocs profiles — harvestable
+// cluster-wide by `anonctl profile`). -collector switches the responder role to the
 // erasure-coded session reassembler; -trace FILE appends the node's
 // trace events to a JSONL file; -tsdb FILE self-samples the node's
 // registry into an embedded time-series file (consumable by `anonctl
@@ -158,7 +160,7 @@ func main() {
 
 	var sampler *selfSampler
 	if *tsdbP != "" {
-		sampler, err = startSelfSampler(*tsdbP, *tsdbInt, *id, node.Metrics())
+		sampler, err = startSelfSampler(*tsdbP, *tsdbInt, *id, node)
 		if err != nil {
 			fatal(err)
 		}
@@ -170,6 +172,7 @@ func main() {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/vars", node.DebugHandler())
 		mux.Handle("/debug/trace", node.TraceHandler())
+		mux.Handle("/debug/pprof/", livenet.PprofHandler())
 		mux.Handle("/metrics", node.MetricsHandler())
 		mux.Handle("/healthz", node.HealthzHandler())
 		mux.Handle("/readyz", node.ReadyzHandler())

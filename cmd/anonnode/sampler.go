@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"resilientmix/internal/livenet"
 	"resilientmix/internal/obs"
 	"resilientmix/internal/obs/tsdb"
 )
@@ -15,6 +16,7 @@ import (
 // sanitized and labelled node=<id>, so the file replays through
 // `anonctl replay` exactly like a cluster recording.
 type selfSampler struct {
+	node   *livenet.Node
 	reg    *obs.Registry
 	db     *tsdb.DB
 	w      *tsdb.Writer
@@ -26,7 +28,7 @@ type selfSampler struct {
 	closeErr  error
 }
 
-func startSelfSampler(path string, interval time.Duration, id int, reg *obs.Registry) (*selfSampler, error) {
+func startSelfSampler(path string, interval time.Duration, id int, node *livenet.Node) (*selfSampler, error) {
 	if interval <= 0 {
 		interval = time.Second
 	}
@@ -36,7 +38,8 @@ func startSelfSampler(path string, interval time.Duration, id int, reg *obs.Regi
 		return nil, err
 	}
 	s := &selfSampler{
-		reg:    reg,
+		node:   node,
+		reg:    node.Metrics(),
 		db:     db,
 		w:      w,
 		labels: tsdb.L("node", strconv.Itoa(id)),
@@ -62,6 +65,7 @@ func (s *selfSampler) loop(interval time.Duration) {
 }
 
 func (s *selfSampler) sample(at time.Time) {
+	s.node.SampleRuntime() // refresh runtime.* gauges before snapshotting
 	atMicro := at.UnixMicro()
 	tsdb.SampleSnapshot(s.db, s.w, atMicro, s.labels, s.reg.Snapshot())
 	// A self-recorded node is by definition up and serving.

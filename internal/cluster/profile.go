@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"resilientmix/internal/obs/prof"
+)
+
+// Cluster-wide profile harvesting: fetch the same /debug/pprof
+// endpoint from every node concurrently (CPU profiles block
+// server-side for their full capture window, so sequential harvesting
+// would multiply wall clock by the node count), then merge the results
+// into one cluster profile for per-subsystem attribution.
+
+// profileFetchSlack pads the HTTP client timeout beyond the capture
+// window a CPU profile blocks for.
+const profileFetchSlack = 30 * time.Second
+
+// maxProfileBytes bounds one node's profile response.
+const maxProfileBytes = 64 << 20
+
+// FetchProfile fetches and parses one pprof endpoint from one node's
+// debug address. endpoint is the path under /debug/pprof/, query
+// included — "heap", "allocs", or "profile?seconds=5". Transport
+// errors and 5xx answers retry under the scrape backoff policy
+// (jittered, capped exponential).
+func FetchProfile(debugAddr, endpoint string, window time.Duration) (*prof.Profile, error) {
+	client := &http.Client{Timeout: window + profileFetchSlack}
+	resp, err := getRetry(client, "http://"+debugAddr+"/debug/pprof/"+endpoint, true)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxProfileBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("pprof %s from %s: status %d: %.200s", endpoint, debugAddr, resp.StatusCode, blob)
+	}
+	p, err := prof.ParseBytes(blob)
+	if err != nil {
+		return nil, fmt.Errorf("pprof %s from %s: %w", endpoint, debugAddr, err)
+	}
+	return p, nil
+}
+
+// Harvest is one cluster-wide profile capture: the merged profile plus
+// per-node failures (a node that restarts mid-capture should cost its
+// own sample, not the whole harvest).
+type Harvest struct {
+	// Merged is the cluster-wide merge; nil when no node answered.
+	Merged *prof.Profile
+	// Nodes counts the nodes whose profiles merged successfully.
+	Nodes int
+	// Errs records per-node failures keyed by node id.
+	Errs map[int]error
+}
+
+// HarvestProfiles captures endpoint from every manifest node
+// concurrently and merges the results. window is the server-side
+// capture duration for blocking endpoints (use 0 for instant profiles
+// like heap).
+func HarvestProfiles(m Manifest, endpoint string, window time.Duration) Harvest {
+	type result struct {
+		id int
+		p  *prof.Profile
+		e  error
+	}
+	results := make(chan result, len(m.Nodes))
+	var wg sync.WaitGroup
+	for _, n := range m.Nodes {
+		wg.Add(1)
+		go func(id int, debug string) {
+			defer wg.Done()
+			p, err := FetchProfile(debug, endpoint, window)
+			results <- result{id, p, err}
+		}(n.ID, n.Debug)
+	}
+	wg.Wait()
+	close(results)
+
+	h := Harvest{Errs: map[int]error{}}
+	var profiles []*prof.Profile
+	for r := range results {
+		if r.e != nil {
+			h.Errs[r.id] = r.e
+			continue
+		}
+		profiles = append(profiles, r.p)
+		h.Nodes++
+	}
+	if len(profiles) > 0 {
+		merged, err := prof.Merge(profiles...)
+		if err != nil {
+			// Nodes disagreeing on sample types means mixed binaries; fold
+			// it into every contributing node's error slot.
+			h.Errs[-1] = err
+			h.Nodes = 0
+		} else {
+			h.Merged = merged
+		}
+	}
+	return h
+}

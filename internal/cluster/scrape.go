@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"time"
@@ -29,7 +30,25 @@ var (
 	ScrapeBackoff = 100 * time.Millisecond
 	// ScrapeBackoffCap bounds the backoff growth.
 	ScrapeBackoffCap = 1 * time.Second
+	// ScrapeJitter spreads each retry delay uniformly over
+	// [d·(1−j), d·(1+j)]. Without it, every scraper that failed on the
+	// same node outage retries in lockstep and the recovering node
+	// takes the whole herd at once. 0 disables, values above 1 clamp.
+	ScrapeJitter = 0.5
 )
+
+// jitterBackoff spreads one backoff delay by ScrapeJitter.
+func jitterBackoff(d time.Duration) time.Duration {
+	j := ScrapeJitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	lo := float64(d) * (1 - j)
+	return time.Duration(lo + rand.Float64()*(2*j*float64(d)))
+}
 
 // getRetry fetches url, retrying transport errors (and, when retry5xx
 // is set, 5xx statuses) with capped exponential backoff. On success
@@ -43,7 +62,7 @@ func getRetry(client *http.Client, url string, retry5xx bool) (*http.Response, e
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoff)
+			time.Sleep(jitterBackoff(backoff))
 			backoff *= 2
 			if backoff > ScrapeBackoffCap {
 				backoff = ScrapeBackoffCap

@@ -200,8 +200,8 @@ func RenderWatch(w io.Writer, db *tsdb.DB, opts WatchOptions) {
 	fmt.Fprintf(w, "telemetry — %d nodes · %d ticks retained · span %.1fs · window %.0fs\n\n",
 		len(nodes), ticks, float64(last-first)/1e6, float64(win)/1e6)
 
-	fmt.Fprintf(w, "%-5s %-3s %-5s %9s  %-*s %8s %8s %8s %6s %6s\n",
-		"node", "up", "ready", "out/s", width, "history", "in/s", "sent/s", "acked/s", "fwd", "rev")
+	fmt.Fprintf(w, "%-5s %-3s %-5s %9s  %-*s %8s %8s %8s %6s %6s %6s %7s\n",
+		"node", "up", "ready", "out/s", width, "history", "in/s", "sent/s", "acked/s", "fwd", "rev", "gor", "heap")
 	for _, n := range nodes {
 		label := tsdb.L("node", n)
 		upDown := "-"
@@ -222,7 +222,7 @@ func RenderWatch(w io.Writer, db *tsdb.DB, opts WatchOptions) {
 		if s := db.Get("live_frames_out", label); s != nil {
 			hist = s.TailRates(width)
 		}
-		fmt.Fprintf(w, "%-5s %-3s %-5s %9.1f  %-*s %8.1f %8.1f %8.1f %6.0f %6.0f\n",
+		fmt.Fprintf(w, "%-5s %-3s %-5s %9.1f  %-*s %8.1f %8.1f %8.1f %6.0f %6.0f %6.0f %7s\n",
 			n, upDown, ready,
 			nodeRate(db, "live_frames_out", n, win),
 			width, spark(hist, width),
@@ -230,7 +230,9 @@ func RenderWatch(w io.Writer, db *tsdb.DB, opts WatchOptions) {
 			nodeRate(db, "session_segments_sent", n, win),
 			nodeRate(db, "session_segments_acked", n, win),
 			nodeLatest(db, "live_forward_states", n),
-			nodeLatest(db, "live_reverse_states", n))
+			nodeLatest(db, "live_reverse_states", n),
+			nodeLatest(db, "runtime_goroutines", n),
+			fmtBytes(nodeLatest(db, "runtime_heap_inuse_bytes", n)))
 	}
 
 	fmt.Fprintf(w, "\ncluster  out/s %.1f  %s\n",
@@ -269,6 +271,21 @@ func RenderWatch(w io.Writer, db *tsdb.DB, opts WatchOptions) {
 		}
 		fmt.Fprintf(w, "  +%.1fs  [%s] %s: %s\n", float64(a.At-first)/1e6, where, a.Kind, a.Detail)
 	}
+}
+
+// fmtBytes renders a byte quantity compactly for a dashboard cell.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fG", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.0fM", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.0fK", v/(1<<10))
+	case v > 0:
+		return fmt.Sprintf("%.0fB", v)
+	}
+	return "-"
 }
 
 // latest reads one series' latest value.

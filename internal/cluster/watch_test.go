@@ -15,10 +15,11 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
 // buildRecordedRun synthesizes the store a recorder would produce
-// from a 3-node cluster run with one injected relay failure (node 2
-// silent from t=10s) and one repair spike (20 path deaths at t=20s),
-// evaluating the default rules each tick exactly as the recorder
-// does.
+// from a 3-node cluster run with four injected episodes — node 2
+// silent from t=10s, a repair spike (20 path deaths at t=20s), a
+// goroutine leak on node 1 ramping from t=11s, and one 300ms GC pause
+// on node 0 at t=25s — evaluating the default rules each tick exactly
+// as the recorder does.
 func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
 	db := tsdb.New(128)
 	eng := rules.NewEngine(rules.Defaults()...)
@@ -37,6 +38,20 @@ func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
 			db.Append("live_frames_in_data", l, at, in)
 			db.Append("live_forward_states", l, at, 2)
 			db.Append("live_reverse_states", l, at, 1)
+			db.Append("runtime_heap_inuse_bytes", l, at, 48<<20)
+			// Node 1 leaks goroutines from t=11: +200/s, plateauing at
+			// 2120 from t=20 — one breach episode for the trend rule.
+			gor := 120.0
+			if n == "1" && i > 10 {
+				gor = 120 + 200*float64(min(i, 20)-10)
+			}
+			db.Append("runtime_goroutines", l, at, gor)
+			// Node 0 takes one 300ms GC pause at t=25.
+			pause := 0.004
+			if n == "0" && i == 25 {
+				pause = 0.3
+			}
+			db.Append("runtime_last_gc_pause_seconds", l, at, pause)
 		}
 		// Node 0 is the initiator; node 1 terminates sessions.
 		l0 := tsdb.L("node", "0")
@@ -59,9 +74,9 @@ func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
 }
 
 // TestWatchGolden pins the dashboard rendering of the synthetic
-// recorded run, and with it the acceptance scenario: the injected
-// relay failure and repair spike each fire exactly one alert, both
-// visible in the render.
+// recorded run, and with it the acceptance scenario: each injected
+// episode — relay failure, repair spike, goroutine leak, GC pause —
+// fires exactly one alert, all visible in the render.
 func TestWatchGolden(t *testing.T) {
 	db, alerts := buildRecordedRun()
 
@@ -69,8 +84,13 @@ func TestWatchGolden(t *testing.T) {
 	for _, a := range alerts {
 		count[a.Rule]++
 	}
-	if count["silent-relay"] != 1 || count["repair-spike"] != 1 || len(alerts) != 2 {
-		t.Fatalf("injected failures: alerts = %+v, want exactly one silent-relay and one repair-spike", alerts)
+	for _, rule := range []string{"silent-relay", "repair-spike", "goroutine-leak", "gc-pause-spike"} {
+		if count[rule] != 1 {
+			t.Fatalf("injected failures: %s fired %d times, want 1 (alerts: %+v)", rule, count[rule], alerts)
+		}
+	}
+	if len(alerts) != 4 {
+		t.Fatalf("injected failures: %d alerts, want exactly 4: %+v", len(alerts), alerts)
 	}
 
 	var b strings.Builder
@@ -93,7 +113,7 @@ func TestWatchGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("watch render drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	for _, needle := range []string{"silent-relay", "repair-spike", "alerts (2)"} {
+	for _, needle := range []string{"silent-relay", "repair-spike", "goroutine-leak", "gc-pause-spike", "alerts (4)"} {
 		if !strings.Contains(got, needle) {
 			t.Errorf("render is missing %q", needle)
 		}

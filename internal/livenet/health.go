@@ -51,6 +51,14 @@ type Health struct {
 	LastFrameAgoSeconds float64 `json:"last_frame_ago_seconds"`
 	// Responder reports whether the node has a data handler installed.
 	Responder bool `json:"responder"`
+	// Process-resource telemetry (from the runtime collector):
+	// goroutine count, heap occupancy, GC cycle count and the most
+	// recent GC pause. LastGCPauseSeconds is 0 before the first GC.
+	Goroutines         int     `json:"goroutines"`
+	HeapInuseBytes     uint64  `json:"heap_inuse_bytes"`
+	HeapObjects        uint64  `json:"heap_objects"`
+	NumGC              uint32  `json:"num_gc"`
+	LastGCPauseSeconds float64 `json:"last_gc_pause_seconds"`
 	// Ready mirrors the readiness verdict; ReadyReason carries the
 	// failure description when not ready.
 	Ready       bool   `json:"ready"`
@@ -78,6 +86,13 @@ func (n *Node) Health() Health {
 	if at := n.lastFrameAt.Load(); at != 0 {
 		h.LastFrameAgoSeconds = time.Since(time.UnixMicro(at)).Seconds()
 	}
+	n.rt.Collect()
+	rs := n.rt.Stats()
+	h.Goroutines = rs.Goroutines
+	h.HeapInuseBytes = rs.HeapInuseBytes
+	h.HeapObjects = rs.HeapObjects
+	h.NumGC = rs.NumGC
+	h.LastGCPauseSeconds = rs.LastGCPauseSeconds
 	if err := n.Ready(); err != nil {
 		h.ReadyReason = err.Error()
 	} else {
@@ -191,8 +206,17 @@ func (n *Node) HealthHandler() http.Handler {
 }
 
 // MetricsHandler serves the node's registry in the Prometheus text
-// exposition format (0.0.4).
-func (n *Node) MetricsHandler() http.Handler { return n.reg.PrometheusHandler() }
+// exposition format (0.0.4). Each scrape refreshes the runtime
+// telemetry gauges first (throttled), so every downstream consumer —
+// the cluster recorder, the tsdb, the rule engine, the watch
+// dashboard — sees process-resource series with no extra plumbing.
+func (n *Node) MetricsHandler() http.Handler {
+	prom := n.reg.PrometheusHandler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.rt.Collect()
+		prom.ServeHTTP(w, r)
+	})
+}
 
 // Trace streaming bounds: buffer size of the per-request sink, the
 // default and maximum stream durations.

@@ -104,6 +104,9 @@ type Node struct {
 	ln  net.Listener
 	reg *obs.Registry
 	m   *liveMetrics
+	// rt samples Go runtime telemetry (goroutines, heap, GC pauses,
+	// scheduler latency) into reg on every observability scrape.
+	rt *obs.RuntimeCollector
 	// hub fans trace events out to runtime subscribers (the
 	// /debug/trace streaming endpoint); trc is the node's effective
 	// tracer: the configured one plus the hub.
@@ -182,6 +185,7 @@ func Start(addr string, cfg Config) (*Node, error) {
 		ln:       ln,
 		reg:      reg,
 		m:        newLiveMetrics(reg),
+		rt:       obs.NewRuntimeCollector(reg),
 		hub:      hub,
 		trc:      obs.Multi(cfg.Tracer, hub),
 		started:  time.Now(),
@@ -225,8 +229,19 @@ func (n *Node) Metrics() *obs.Registry { return n.reg }
 
 // DebugHandler returns an expvar-style HTTP handler exposing the
 // node's metrics as indented JSON; cmd/anonnode mounts it at
-// /debug/vars when -debug is set.
-func (n *Node) DebugHandler() http.Handler { return n.reg }
+// /debug/vars when -debug is set. Each request refreshes the runtime
+// telemetry gauges first.
+func (n *Node) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.rt.Collect()
+		n.reg.ServeHTTP(w, r)
+	})
+}
+
+// SampleRuntime refreshes the runtime telemetry gauges (throttled) —
+// the hook push-style consumers like cmd/anonnode's tsdb self-sampler
+// call before snapshotting the registry.
+func (n *Node) SampleRuntime() { n.rt.Collect() }
 
 // emit hands one trace event to the configured tracer and every live
 // subscriber. trc is never nil (the hub is always present).

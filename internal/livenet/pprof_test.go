@@ -1,0 +1,81 @@
+package livenet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"resilientmix/internal/obs/prof"
+)
+
+// TestPprofHandler exercises the profile surface end to end: every
+// runtime profile must come back as valid pprof protobuf (validated
+// with the repo's own parser) and the first handler construction must
+// arm the contention samplers.
+func TestPprofHandler(t *testing.T) {
+	srv := httptest.NewServer(PprofHandler())
+	defer srv.Close()
+
+	if f := runtime.SetMutexProfileFraction(-1); f != mutexProfileFraction {
+		t.Fatalf("mutex profiling not armed: fraction = %d", f)
+	}
+
+	for _, name := range []string{"heap", "allocs", "goroutine", "mutex", "block"} {
+		resp, err := http.Get(srv.URL + "/debug/pprof/" + name + "?debug=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, blob)
+		}
+		p, err := prof.ParseBytes(blob)
+		if err != nil {
+			t.Fatalf("%s: not parseable pprof protobuf: %v", name, err)
+		}
+		if len(p.SampleTypes) == 0 {
+			t.Fatalf("%s: no sample types", name)
+		}
+	}
+
+	// The index must exist (human entry point).
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("index status = %d", resp.StatusCode)
+	}
+}
+
+// TestHealthRuntimeFields: the /health report embeds process-resource
+// telemetry, and /metrics exposes the runtime.* gauge family.
+func TestHealthRuntimeFields(t *testing.T) {
+	c := startCluster(t, 2, nil)
+	runtime.GC()
+
+	h := c.nodes[0].Health()
+	if h.Goroutines <= 0 {
+		t.Fatalf("health goroutines = %d", h.Goroutines)
+	}
+	if h.HeapInuseBytes == 0 || h.HeapObjects == 0 {
+		t.Fatalf("health heap telemetry empty: %+v", h)
+	}
+
+	rec := httptest.NewRecorder()
+	c.nodes[0].MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, series := range []string{"runtime_goroutines ", "runtime_heap_inuse_bytes ", "runtime_last_gc_pause_seconds "} {
+		if !strings.Contains(body, "\n"+series) {
+			t.Errorf("/metrics missing %s:\n%s", series, body)
+		}
+	}
+}

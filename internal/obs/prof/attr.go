@@ -1,0 +1,268 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Bucket maps function-name prefixes to one attribution bucket. A
+// sample is attributed by scanning its stack leaf to root and taking
+// the first frame that matches any bucket prefix, so stdlib and
+// crypto leaves are charged to the subsystem that called them.
+type Bucket struct {
+	Name     string   `json:"name"`
+	Prefixes []string `json:"prefixes"`
+}
+
+// Bucket names for samples no prefix claims: OtherBucket when any
+// non-runtime frame is on the stack, RuntimeBucket when the whole
+// stack is runtime internals (GC, scheduler, memory management).
+const (
+	OtherBucket   = "other"
+	RuntimeBucket = "runtime"
+)
+
+// DefaultBuckets is the repo's subsystem map — the attribution the
+// ROADMAP's data-plane work is judged with. Trailing dots keep
+// package-name prefixes exact (onion. does not swallow onioncrypt.).
+func DefaultBuckets() []Bucket {
+	return []Bucket{
+		{Name: "onioncrypt", Prefixes: []string{"resilientmix/internal/onioncrypt."}},
+		{Name: "erasure", Prefixes: []string{"resilientmix/internal/erasure.", "resilientmix/internal/gf256."}},
+		{Name: "wire", Prefixes: []string{"resilientmix/internal/wire."}},
+		{Name: "onion", Prefixes: []string{"resilientmix/internal/onion."}},
+		{Name: "livenet", Prefixes: []string{"resilientmix/internal/livenet."}},
+		{Name: "obs", Prefixes: []string{"resilientmix/internal/obs"}},
+		{Name: "cluster", Prefixes: []string{"resilientmix/internal/cluster."}},
+		{Name: "sim", Prefixes: []string{"resilientmix/internal/sim.", "resilientmix/internal/netsim.", "resilientmix/internal/core."}},
+	}
+}
+
+// Attribution is one value dimension of a profile split across
+// buckets.
+type Attribution struct {
+	SampleType ValueType        `json:"sample_type"`
+	Total      int64            `json:"total"`
+	Buckets    map[string]int64 `json:"buckets"`
+}
+
+// Attribute splits the profile's sampleIndex dimension across the
+// buckets. Samples whose stack matches no prefix land in "runtime"
+// (stack entirely runtime-internal) or "other".
+func Attribute(p *Profile, sampleIndex int, buckets []Bucket) Attribution {
+	a := Attribution{
+		SampleType: p.SampleTypes[sampleIndex],
+		Buckets:    make(map[string]int64),
+	}
+	for _, s := range p.Samples {
+		v := s.Values[sampleIndex]
+		if v == 0 {
+			continue
+		}
+		a.Total += v
+		a.Buckets[bucketFor(s.Stack, buckets)] += v
+	}
+	return a
+}
+
+// bucketFor attributes one stack: first matching frame leaf to root
+// wins; otherwise runtime-only stacks are "runtime", the rest "other".
+func bucketFor(stack []string, buckets []Bucket) string {
+	runtimeOnly := len(stack) > 0
+	for _, frame := range stack {
+		for _, b := range buckets {
+			for _, pre := range b.Prefixes {
+				if strings.HasPrefix(frame, pre) {
+					return b.Name
+				}
+			}
+		}
+		if !strings.HasPrefix(frame, "runtime.") && !strings.HasPrefix(frame, "runtime/") {
+			runtimeOnly = false
+		}
+	}
+	if runtimeOnly {
+		return RuntimeBucket
+	}
+	return OtherBucket
+}
+
+// Shares returns each bucket's fraction of the total (empty when the
+// profile recorded nothing).
+func (a Attribution) Shares() map[string]float64 {
+	out := make(map[string]float64, len(a.Buckets))
+	if a.Total == 0 {
+		return out
+	}
+	for name, v := range a.Buckets {
+		out[name] = float64(v) / float64(a.Total)
+	}
+	return out
+}
+
+// Entry is one function's cost in a top-N report.
+type Entry struct {
+	Name string `json:"name"`
+	// Flat is the cost of samples where the function is the leaf; Cum
+	// counts every sample the function appears in.
+	Flat int64 `json:"flat"`
+	Cum  int64 `json:"cum"`
+}
+
+// Top returns the n most expensive functions by flat cost (ties by
+// cumulative, then name, so reports are deterministic).
+func Top(p *Profile, sampleIndex, n int) []Entry {
+	flat := make(map[string]int64)
+	cum := make(map[string]int64)
+	for _, s := range p.Samples {
+		v := s.Values[sampleIndex]
+		if v == 0 || len(s.Stack) == 0 {
+			continue
+		}
+		flat[s.Stack[0]] += v
+		seen := make(map[string]bool, len(s.Stack))
+		for _, f := range s.Stack {
+			if !seen[f] {
+				seen[f] = true
+				cum[f] += v
+			}
+		}
+	}
+	entries := make([]Entry, 0, len(cum))
+	for name, c := range cum {
+		entries = append(entries, Entry{Name: name, Flat: flat[name], Cum: c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Flat != entries[j].Flat {
+			return entries[i].Flat > entries[j].Flat
+		}
+		if entries[i].Cum != entries[j].Cum {
+			return entries[i].Cum > entries[j].Cum
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	if n > 0 && len(entries) > n {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// WriteReport renders one value dimension as a text report: the
+// bucket table (largest share first), then the top-N functions.
+func WriteReport(w io.Writer, title string, p *Profile, sampleIndex int, buckets []Bucket, topN int) {
+	st := p.SampleTypes[sampleIndex]
+	a := Attribute(p, sampleIndex, buckets)
+	fmt.Fprintf(w, "=== %s — %s/%s, total %s", title, st.Type, st.Unit, FormatValue(a.Total, st.Unit))
+	if p.DurationNanos > 0 {
+		fmt.Fprintf(w, " over %s", FormatValue(p.DurationNanos, "nanoseconds"))
+	}
+	fmt.Fprintf(w, ", %d samples ===\n", len(p.Samples))
+
+	type row struct {
+		name string
+		v    int64
+	}
+	rows := make([]row, 0, len(a.Buckets))
+	for name, v := range a.Buckets {
+		rows = append(rows, row{name, v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		share := 0.0
+		if a.Total > 0 {
+			share = float64(r.v) / float64(a.Total) * 100
+		}
+		fmt.Fprintf(w, "  %-12s %10s  %5.1f%%\n", r.name, FormatValue(r.v, st.Unit), share)
+	}
+	if topN <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "  top %d functions (flat / cum):\n", topN)
+	for _, e := range Top(p, sampleIndex, topN) {
+		fmt.Fprintf(w, "    %10s %10s  %s\n",
+			FormatValue(e.Flat, st.Unit), FormatValue(e.Cum, st.Unit), e.Name)
+	}
+}
+
+// Baseline is the committed form of one dimension's attribution: each
+// bucket's share of the total.
+type Baseline struct {
+	Buckets map[string]float64 `json:"buckets"`
+}
+
+// BaselineFile is the committed profile baseline anonctl's -baseline
+// flag gates against, keyed by sample-type name ("cpu",
+// "alloc_space", ...).
+type BaselineFile struct {
+	// Tolerance is the allowed absolute share drift per bucket; zero
+	// selects DefaultTolerance.
+	Tolerance float64             `json:"tolerance,omitempty"`
+	Profiles  map[string]Baseline `json:"profiles"`
+}
+
+// DefaultTolerance is the share drift (15 percentage points) allowed
+// before a baseline diff fails.
+const DefaultTolerance = 0.15
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (BaselineFile, error) {
+	var bf BaselineFile
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return bf, err
+	}
+	if err := json.Unmarshal(blob, &bf); err != nil {
+		return bf, fmt.Errorf("prof: parsing baseline %s: %w", path, err)
+	}
+	return bf, nil
+}
+
+// WriteBaseline writes a baseline file with deterministic formatting.
+func WriteBaseline(path string, bf BaselineFile) error {
+	blob, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// DiffBaseline compares measured shares against a baseline dimension
+// and returns one diagnostic per bucket whose share drifted more than
+// tol (absolute). Buckets absent from either side count from zero, so
+// a subsystem newly appearing in the hot path is a drift too.
+func DiffBaseline(name string, cur map[string]float64, base Baseline, tol float64) []string {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	names := make(map[string]bool, len(cur)+len(base.Buckets))
+	for b := range cur {
+		names[b] = true
+	}
+	for b := range base.Buckets {
+		names[b] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for b := range names {
+		sorted = append(sorted, b)
+	}
+	sort.Strings(sorted)
+	var diags []string
+	for _, b := range sorted {
+		got, want := cur[b], base.Buckets[b]
+		if d := got - want; d > tol || d < -tol {
+			diags = append(diags, fmt.Sprintf(
+				"%s: bucket %s share %.1f%% vs baseline %.1f%% (drift %.1f pts > %.0f allowed)",
+				name, b, got*100, want*100, (got-want)*100, tol*100))
+		}
+	}
+	return diags
+}

@@ -1,0 +1,160 @@
+package prof
+
+import (
+	"compress/gzip"
+	"os"
+)
+
+// This file is the write half of the toolkit: Marshal re-encodes a
+// symbolized Profile as pprof protobuf, so merged cluster profiles
+// round-trip through `go tool pprof` and the parser's own test suite.
+// Each distinct function name becomes one Function and one Location
+// (id = table index + 1); everything the parser skips (mappings, line
+// numbers, labels) is simply absent, which pprof tolerates.
+
+// appendVarint appends a base-128 varint.
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// appendField appends a varint-valued field.
+func appendField(b []byte, num int, v uint64) []byte {
+	b = appendVarint(b, uint64(num)<<3)
+	return appendVarint(b, v)
+}
+
+// appendBytesField appends a length-delimited field.
+func appendBytesField(b []byte, num int, bs []byte) []byte {
+	b = appendVarint(b, uint64(num)<<3|2)
+	b = appendVarint(b, uint64(len(bs)))
+	return append(b, bs...)
+}
+
+// appendPacked appends a packed repeated varint field.
+func appendPacked(b []byte, num int, vs []uint64) []byte {
+	var inner []byte
+	for _, v := range vs {
+		inner = appendVarint(inner, v)
+	}
+	return appendBytesField(b, num, inner)
+}
+
+// Marshal encodes the profile as uncompressed pprof protobuf.
+func (p *Profile) Marshal() []byte {
+	// String table: index 0 must be the empty string.
+	strs := []string{""}
+	strIdx := map[string]uint64{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := uint64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+	valueType := func(vt ValueType) []byte {
+		var b []byte
+		b = appendField(b, 1, intern(vt.Type))
+		b = appendField(b, 2, intern(vt.Unit))
+		return b
+	}
+
+	// One location (and function) per distinct frame name.
+	locIdx := map[string]uint64{}
+	var locNames []string
+	locFor := func(frame string) uint64 {
+		if id, ok := locIdx[frame]; ok {
+			return id
+		}
+		id := uint64(len(locNames) + 1)
+		locIdx[frame] = id
+		locNames = append(locNames, frame)
+		return id
+	}
+
+	var sampleMsgs [][]byte
+	for _, s := range p.Samples {
+		var locs []uint64
+		for _, f := range s.Stack {
+			locs = append(locs, locFor(f))
+		}
+		vals := make([]uint64, len(s.Values))
+		for i, v := range s.Values {
+			vals[i] = uint64(v)
+		}
+		var sm []byte
+		sm = appendPacked(sm, 1, locs)
+		sm = appendPacked(sm, 2, vals)
+		sampleMsgs = append(sampleMsgs, sm)
+	}
+
+	var out []byte
+	for _, st := range p.SampleTypes {
+		out = appendBytesField(out, 1, valueType(st))
+	}
+	// Encode the period type now (before emitting the string table) so
+	// its strings are interned in time.
+	var periodType []byte
+	if p.PeriodType != (ValueType{}) {
+		periodType = valueType(p.PeriodType)
+	}
+	for _, sm := range sampleMsgs {
+		out = appendBytesField(out, 2, sm)
+	}
+	for i := range locNames {
+		id := uint64(i + 1)
+		var line []byte
+		line = appendField(line, 1, id) // function_id == location id
+		var loc []byte
+		loc = appendField(loc, 1, id)
+		loc = appendBytesField(loc, 4, line)
+		out = appendBytesField(out, 4, loc)
+	}
+	for i, name := range locNames {
+		id := uint64(i + 1)
+		var fn []byte
+		fn = appendField(fn, 1, id)
+		fn = appendField(fn, 2, intern(name))
+		out = appendBytesField(out, 5, fn)
+	}
+	for _, s := range strs {
+		out = appendBytesField(out, 6, []byte(s))
+	}
+	if p.TimeNanos != 0 {
+		out = appendField(out, 9, uint64(p.TimeNanos))
+	}
+	if p.DurationNanos != 0 {
+		out = appendField(out, 10, uint64(p.DurationNanos))
+	}
+	if periodType != nil {
+		out = appendBytesField(out, 11, periodType)
+	}
+	if p.Period != 0 {
+		out = appendField(out, 12, uint64(p.Period))
+	}
+	return out
+}
+
+// WriteFile writes the profile gzipped (the runtime/pprof convention,
+// readable by `go tool pprof` and by Parse).
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(p.Marshal()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,40 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParsePprof throws arbitrary bytes at the pprof parser. The
+// invariants: never panic, and any blob that parses must survive a
+// Marshal/Parse round trip (the encoder and decoder agree on the
+// subset of the format we keep).
+func FuzzParsePprof(f *testing.F) {
+	for _, name := range []string{"cpu.pb.gz", "heap.pb.gz"} {
+		if blob, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(blob)
+		}
+	}
+	f.Add(synthetic().Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b, 0x00})
+	f.Add([]byte{0x08, 0x80})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		p, err := ParseBytes(blob)
+		if err != nil {
+			return
+		}
+		back, err := ParseBytes(p.Marshal())
+		if err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+		if len(back.Samples) != len(p.Samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(p.Samples), len(back.Samples))
+		}
+		for i := range p.SampleTypes {
+			Attribute(p, i, DefaultBuckets())
+		}
+	})
+}

@@ -1,0 +1,541 @@
+// Package prof is the profile toolkit behind the repo's resource
+// observability: the -cpuprofile/-memprofile flags of cmd/anonsim and
+// cmd/anonbench (StartProfiles), a minimal in-repo parser and encoder
+// for the gzipped pprof protobuf format (sample/location/function
+// tables — the subset attribution needs, no external dependencies),
+// per-subsystem CPU/allocation attribution by function-name prefix,
+// top-N flat/cumulative reports, multi-node profile merging, and
+// drift gating against a committed bucket-share baseline.
+//
+// The parser accepts exactly what runtime/pprof writes (proto3 wire
+// format, optionally gzipped) but keeps only what attribution needs:
+// sample types, periods, and every sample resolved to a symbolized
+// call stack. Mappings, line numbers, labels and comments are skipped.
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ValueType names one sample dimension (e.g. {cpu, nanoseconds} or
+// {alloc_space, bytes}).
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Sample is one symbolized profile sample: a call stack (leaf first)
+// and one value per Profile.SampleTypes entry.
+type Sample struct {
+	Stack  []string `json:"stack"`
+	Values []int64  `json:"values"`
+}
+
+// Profile is the symbolized view of a pprof profile.
+type Profile struct {
+	SampleTypes   []ValueType `json:"sample_types"`
+	PeriodType    ValueType   `json:"period_type"`
+	Period        int64       `json:"period"`
+	TimeNanos     int64       `json:"time_nanos"`
+	DurationNanos int64       `json:"duration_nanos"`
+	Samples       []Sample    `json:"samples"`
+}
+
+// SampleIndex returns the index of the sample type with the given
+// name, or -1. CPU profiles carry {samples,count} and
+// {cpu,nanoseconds}; heap profiles carry alloc_objects/alloc_space/
+// inuse_objects/inuse_space.
+func (p *Profile) SampleIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// Total sums one value dimension across every sample.
+func (p *Profile) Total(sampleIndex int) int64 {
+	var total int64
+	for _, s := range p.Samples {
+		total += s.Values[sampleIndex]
+	}
+	return total
+}
+
+// maxDecompressed bounds gzip expansion so a hostile profile cannot
+// balloon memory (profiles this toolkit handles are a few MB).
+const maxDecompressed = 256 << 20
+
+// Parse reads a pprof profile — gzipped (as runtime/pprof writes) or
+// raw protobuf — and returns its symbolized form.
+func Parse(r io.Reader) (*Profile, error) {
+	blob, err := io.ReadAll(io.LimitReader(r, maxDecompressed+1))
+	if err != nil {
+		return nil, err
+	}
+	return ParseBytes(blob)
+}
+
+// ParseBytes is Parse over an in-memory profile.
+func ParseBytes(blob []byte) (*Profile, error) {
+	if len(blob) >= 2 && blob[0] == 0x1f && blob[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxDecompressed+1))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		if len(raw) > maxDecompressed {
+			return nil, fmt.Errorf("prof: profile exceeds %d bytes decompressed", maxDecompressed)
+		}
+		blob = raw
+	}
+	if len(blob) > maxDecompressed {
+		return nil, fmt.Errorf("prof: profile exceeds %d bytes", maxDecompressed)
+	}
+	return parseProto(blob)
+}
+
+// --- protobuf wire-format decoding -----------------------------------
+//
+// Field numbers from the pprof Profile message
+// (github.com/google/pprof/proto/profile.proto):
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table, 9 time_nanos, 10 duration_nanos,
+//	          11 period_type (ValueType), 12 period
+//	Sample:   1 location_id (repeated uint64), 2 value (repeated int64)
+//	Location: 1 id, 3 address, 4 line (Line)
+//	Line:     1 function_id
+//	Function: 1 id, 2 name (string-table index)
+//	ValueType: 1 type (index), 2 unit (index)
+
+// errTruncated is the generic malformed-input error.
+var errTruncated = fmt.Errorf("prof: truncated or malformed protobuf")
+
+// readVarint decodes a base-128 varint from b[pos:].
+func readVarint(b []byte, pos int) (uint64, int, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if pos >= len(b) {
+			return 0, 0, errTruncated
+		}
+		c := b[pos]
+		pos++
+		v |= uint64(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, pos, nil
+		}
+	}
+	return 0, 0, errTruncated
+}
+
+// field is one decoded protobuf field: a varint value or a
+// length-delimited payload.
+type field struct {
+	num  int
+	varV uint64
+	bs   []byte // nil unless wire type 2
+}
+
+// forEachField walks every field of one message, invoking fn. Unknown
+// wire types error; unknown field numbers are the caller's to skip.
+func forEachField(b []byte, fn func(f field) error) error {
+	pos := 0
+	for pos < len(b) {
+		tag, next, err := readVarint(b, pos)
+		if err != nil {
+			return err
+		}
+		pos = next
+		f := field{num: int(tag >> 3)}
+		switch tag & 7 {
+		case 0: // varint
+			f.varV, pos, err = readVarint(b, pos)
+			if err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if pos+8 > len(b) {
+				return errTruncated
+			}
+			f.varV = uint64(b[pos]) | uint64(b[pos+1])<<8 | uint64(b[pos+2])<<16 | uint64(b[pos+3])<<24 |
+				uint64(b[pos+4])<<32 | uint64(b[pos+5])<<40 | uint64(b[pos+6])<<48 | uint64(b[pos+7])<<56
+			pos += 8
+		case 2: // length-delimited
+			n, next, err := readVarint(b, pos)
+			if err != nil {
+				return err
+			}
+			pos = next
+			if n > uint64(len(b)-pos) {
+				return errTruncated
+			}
+			f.bs = b[pos : pos+int(n)]
+			pos += int(n)
+		case 5: // fixed32
+			if pos+4 > len(b) {
+				return errTruncated
+			}
+			f.varV = uint64(b[pos]) | uint64(b[pos+1])<<8 | uint64(b[pos+2])<<16 | uint64(b[pos+3])<<24
+			pos += 4
+		default:
+			return fmt.Errorf("prof: unsupported wire type %d", tag&7)
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repeatedUint64 decodes a repeated uint64/int64 field that may arrive
+// packed (one length-delimited blob) or unpacked (one varint per
+// occurrence).
+func repeatedUint64(f field, dst []uint64) ([]uint64, error) {
+	if f.bs == nil {
+		return append(dst, f.varV), nil
+	}
+	pos := 0
+	for pos < len(f.bs) {
+		v, next, err := readVarint(f.bs, pos)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, v)
+		pos = next
+	}
+	return dst, nil
+}
+
+// rawValueType is a ValueType before string-table resolution.
+type rawValueType struct{ typ, unit uint64 }
+
+func parseValueType(b []byte) (rawValueType, error) {
+	var vt rawValueType
+	err := forEachField(b, func(f field) error {
+		switch f.num {
+		case 1:
+			vt.typ = f.varV
+		case 2:
+			vt.unit = f.varV
+		}
+		return nil
+	})
+	return vt, err
+}
+
+// rawSample is a Sample before location resolution.
+type rawSample struct {
+	locs   []uint64
+	values []uint64 // zig-zag is not used by pprof; values are int64 as-is
+}
+
+func parseSample(b []byte) (rawSample, error) {
+	var s rawSample
+	err := forEachField(b, func(f field) error {
+		var err error
+		switch f.num {
+		case 1:
+			s.locs, err = repeatedUint64(f, s.locs)
+		case 2:
+			s.values, err = repeatedUint64(f, s.values)
+		}
+		return err
+	})
+	return s, err
+}
+
+// rawLocation keeps a location's function ids (leaf-most inline frame
+// first, the pprof Line order) and its address as the symbolization
+// fallback.
+type rawLocation struct {
+	id      uint64
+	address uint64
+	funcs   []uint64
+}
+
+func parseLocation(b []byte) (rawLocation, error) {
+	var l rawLocation
+	err := forEachField(b, func(f field) error {
+		switch f.num {
+		case 1:
+			l.id = f.varV
+		case 3:
+			l.address = f.varV
+		case 4:
+			if f.bs == nil {
+				return errTruncated
+			}
+			return forEachField(f.bs, func(lf field) error {
+				if lf.num == 1 {
+					l.funcs = append(l.funcs, lf.varV)
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	return l, err
+}
+
+type rawFunction struct {
+	id   uint64
+	name uint64
+}
+
+func parseFunction(b []byte) (rawFunction, error) {
+	var fn rawFunction
+	err := forEachField(b, func(f field) error {
+		switch f.num {
+		case 1:
+			fn.id = f.varV
+		case 2:
+			fn.name = f.varV
+		}
+		return nil
+	})
+	return fn, err
+}
+
+// parseProto decodes the Profile message and symbolizes it.
+func parseProto(b []byte) (*Profile, error) {
+	var (
+		strtab   []string
+		sampleTs []rawValueType
+		samples  []rawSample
+		locs     = make(map[uint64]rawLocation)
+		funcs    = make(map[uint64]rawFunction)
+		periodT  rawValueType
+		p        = &Profile{}
+	)
+	err := forEachField(b, func(f field) error {
+		switch f.num {
+		case 1, 2, 4, 5, 6, 11:
+			if f.bs == nil {
+				return errTruncated
+			}
+		}
+		switch f.num {
+		case 1:
+			vt, err := parseValueType(f.bs)
+			if err != nil {
+				return err
+			}
+			sampleTs = append(sampleTs, vt)
+		case 2:
+			s, err := parseSample(f.bs)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		case 4:
+			l, err := parseLocation(f.bs)
+			if err != nil {
+				return err
+			}
+			locs[l.id] = l
+		case 5:
+			fn, err := parseFunction(f.bs)
+			if err != nil {
+				return err
+			}
+			funcs[fn.id] = fn
+		case 6:
+			strtab = append(strtab, string(f.bs))
+		case 9:
+			p.TimeNanos = int64(f.varV)
+		case 10:
+			p.DurationNanos = int64(f.varV)
+		case 11:
+			vt, err := parseValueType(f.bs)
+			if err != nil {
+				return err
+			}
+			periodT = vt
+		case 12:
+			p.Period = int64(f.varV)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	str := func(i uint64) (string, error) {
+		if i >= uint64(len(strtab)) {
+			return "", fmt.Errorf("prof: string index %d out of range (table has %d)", i, len(strtab))
+		}
+		return strtab[i], nil
+	}
+	resolveVT := func(vt rawValueType) (ValueType, error) {
+		t, err := str(vt.typ)
+		if err != nil {
+			return ValueType{}, err
+		}
+		u, err := str(vt.unit)
+		if err != nil {
+			return ValueType{}, err
+		}
+		return ValueType{Type: t, Unit: u}, nil
+	}
+
+	for _, vt := range sampleTs {
+		r, err := resolveVT(vt)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, r)
+	}
+	if p.PeriodType, err = resolveVT(periodT); err != nil {
+		return nil, err
+	}
+	if len(p.SampleTypes) == 0 && len(samples) > 0 {
+		return nil, fmt.Errorf("prof: %d samples but no sample types", len(samples))
+	}
+
+	// Symbolize each location once: its frames, leaf-most inline frame
+	// first, named by the function table with the address as fallback.
+	locFrames := make(map[uint64][]string, len(locs))
+	for id, l := range locs {
+		var frames []string
+		for _, fid := range l.funcs {
+			fn, ok := funcs[fid]
+			if !ok {
+				return nil, fmt.Errorf("prof: location %d references unknown function %d", id, fid)
+			}
+			name, err := str(fn.name)
+			if err != nil {
+				return nil, err
+			}
+			frames = append(frames, name)
+		}
+		if len(frames) == 0 {
+			frames = []string{fmt.Sprintf("0x%x", l.address)}
+		}
+		locFrames[id] = frames
+	}
+
+	p.Samples = make([]Sample, 0, len(samples))
+	for i, rs := range samples {
+		if len(rs.values) != len(p.SampleTypes) {
+			return nil, fmt.Errorf("prof: sample %d has %d values, profile has %d sample types",
+				i, len(rs.values), len(p.SampleTypes))
+		}
+		s := Sample{Values: make([]int64, len(rs.values))}
+		for j, v := range rs.values {
+			s.Values[j] = int64(v)
+		}
+		for _, lid := range rs.locs {
+			frames, ok := locFrames[lid]
+			if !ok {
+				return nil, fmt.Errorf("prof: sample %d references unknown location %d", i, lid)
+			}
+			s.Stack = append(s.Stack, frames...)
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// Merge combines profiles with identical sample-type signatures into
+// one: samples with identical stacks are summed, durations add, and
+// the earliest timestamp wins. Nil inputs are skipped; merging zero
+// profiles is an error.
+func Merge(ps ...*Profile) (*Profile, error) {
+	var live []*Profile
+	for _, p := range ps {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("prof: nothing to merge")
+	}
+	first := live[0]
+	out := &Profile{
+		SampleTypes: append([]ValueType(nil), first.SampleTypes...),
+		PeriodType:  first.PeriodType,
+		Period:      first.Period,
+		TimeNanos:   first.TimeNanos,
+	}
+	index := make(map[string]int)
+	for _, p := range live {
+		if !sameTypes(p.SampleTypes, first.SampleTypes) {
+			return nil, fmt.Errorf("prof: cannot merge sample types %v with %v", p.SampleTypes, first.SampleTypes)
+		}
+		out.DurationNanos += p.DurationNanos
+		if p.TimeNanos != 0 && (out.TimeNanos == 0 || p.TimeNanos < out.TimeNanos) {
+			out.TimeNanos = p.TimeNanos
+		}
+		for _, s := range p.Samples {
+			key := stackKey(s.Stack)
+			if i, ok := index[key]; ok {
+				for j, v := range s.Values {
+					out.Samples[i].Values[j] += v
+				}
+				continue
+			}
+			index[key] = len(out.Samples)
+			out.Samples = append(out.Samples, Sample{
+				Stack:  append([]string(nil), s.Stack...),
+				Values: append([]int64(nil), s.Values...),
+			})
+		}
+	}
+	return out, nil
+}
+
+// sameTypes reports whether two sample-type signatures match.
+func sameTypes(a, b []ValueType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// stackKey flattens a stack into a map key. Frames never contain the
+// separator (function names are printable identifiers).
+func stackKey(stack []string) string {
+	var b bytes.Buffer
+	for i, f := range stack {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+// FormatValue renders a sample value in its unit: nanoseconds as
+// seconds, bytes with a binary suffix, counts as plain integers.
+func FormatValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		return fmt.Sprintf("%.3gs", float64(v)/1e9)
+	case "bytes":
+		switch av := math.Abs(float64(v)); {
+		case av >= 1<<30:
+			return fmt.Sprintf("%.2fGB", float64(v)/(1<<30))
+		case av >= 1<<20:
+			return fmt.Sprintf("%.2fMB", float64(v)/(1<<20))
+		case av >= 1<<10:
+			return fmt.Sprintf("%.1fKB", float64(v)/(1<<10))
+		}
+		return fmt.Sprintf("%dB", v)
+	}
+	return fmt.Sprintf("%d", v)
+}

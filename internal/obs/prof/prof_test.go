@@ -1,0 +1,312 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadGolden parses one committed golden profile (captured from a real
+// runtime/pprof run of a generator with distinctively named hot
+// functions; see testdata/).
+func loadGolden(t *testing.T, name string) *Profile {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseBytes(blob)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	return p
+}
+
+// stackContains reports whether any sample stack has a frame
+// containing sub.
+func stackContains(p *Profile, sub string) bool {
+	for _, s := range p.Samples {
+		for _, f := range s.Stack {
+			if strings.Contains(f, sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestParseGoldenCPU(t *testing.T) {
+	p := loadGolden(t, "cpu.pb.gz")
+	i := p.SampleIndex("cpu")
+	if i < 0 {
+		t.Fatalf("cpu sample type missing: %+v", p.SampleTypes)
+	}
+	if p.SampleTypes[i].Unit != "nanoseconds" {
+		t.Fatalf("cpu unit = %q", p.SampleTypes[i].Unit)
+	}
+	if total := p.Total(i); total <= 0 {
+		t.Fatalf("cpu total = %d", total)
+	}
+	if p.DurationNanos <= 0 {
+		t.Fatalf("duration = %d", p.DurationNanos)
+	}
+	// The generator burned CPU in main.burnCPU; symbolization must
+	// surface it somewhere on a stack.
+	if !stackContains(p, "burnCPU") {
+		t.Fatal("burnCPU missing from every symbolized stack")
+	}
+}
+
+func TestParseGoldenHeap(t *testing.T) {
+	p := loadGolden(t, "heap.pb.gz")
+	i := p.SampleIndex("alloc_space")
+	if i < 0 {
+		t.Fatalf("alloc_space sample type missing: %+v", p.SampleTypes)
+	}
+	if p.SampleTypes[i].Unit != "bytes" {
+		t.Fatalf("alloc_space unit = %q", p.SampleTypes[i].Unit)
+	}
+	if total := p.Total(i); total <= 0 {
+		t.Fatalf("alloc_space total = %d", total)
+	}
+	if !stackContains(p, "grabHeap") {
+		t.Fatal("grabHeap missing from every symbolized stack")
+	}
+}
+
+// synthetic builds a small known profile for round-trip and
+// attribution tests.
+func synthetic() *Profile {
+	return &Profile{
+		SampleTypes:   []ValueType{{Type: "cpu", Unit: "nanoseconds"}, {Type: "samples", Unit: "count"}},
+		PeriodType:    ValueType{Type: "cpu", Unit: "nanoseconds"},
+		Period:        10_000_000,
+		TimeNanos:     42,
+		DurationNanos: 5_000_000_000,
+		Samples: []Sample{
+			{Stack: []string{"crypto/aes.encryptBlockAsm", "resilientmix/internal/onioncrypt.ECIES.Seal", "resilientmix/internal/livenet.(*Node).send", "main.main"},
+				Values: []int64{700, 7}},
+			{Stack: []string{"resilientmix/internal/gf256.mulSliceSSSE3", "resilientmix/internal/erasure.(*Code).Encode", "main.main"},
+				Values: []int64{200, 2}},
+			{Stack: []string{"runtime.gcBgMarkWorker", "runtime.systemstack"},
+				Values: []int64{50, 1}},
+			{Stack: []string{"net/http.(*conn).serve"},
+				Values: []int64{50, 1}},
+		},
+	}
+}
+
+func TestRoundTripSynthetic(t *testing.T) {
+	p := synthetic()
+	back, err := ParseBytes(p.Marshal())
+	if err != nil {
+		t.Fatalf("reparsing marshaled profile: %v", err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip drifted:\n got %+v\nwant %+v", back, p)
+	}
+}
+
+// TestRoundTripGolden: re-encoding a real parsed profile must preserve
+// totals and attribution exactly.
+func TestRoundTripGolden(t *testing.T) {
+	for _, name := range []string{"cpu.pb.gz", "heap.pb.gz"} {
+		p := loadGolden(t, name)
+		back, err := ParseBytes(p.Marshal())
+		if err != nil {
+			t.Fatalf("%s: reparsing: %v", name, err)
+		}
+		for i := range p.SampleTypes {
+			if got, want := back.Total(i), p.Total(i); got != want {
+				t.Errorf("%s: total[%d] = %d after round trip, want %d", name, i, got, want)
+			}
+			a, b := Attribute(p, i, DefaultBuckets()), Attribute(back, i, DefaultBuckets())
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%s: attribution drifted after round trip:\n got %+v\nwant %+v", name, b, a)
+			}
+		}
+	}
+}
+
+func TestMergeSumsIdenticalStacks(t *testing.T) {
+	a, b := synthetic(), synthetic()
+	m, err := Merge(a, nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) != len(a.Samples) {
+		t.Fatalf("merged %d distinct stacks, want %d", len(m.Samples), len(a.Samples))
+	}
+	if got, want := m.Total(0), 2*a.Total(0); got != want {
+		t.Fatalf("merged total = %d, want %d", got, want)
+	}
+	if m.DurationNanos != 2*a.DurationNanos {
+		t.Fatalf("merged duration = %d", m.DurationNanos)
+	}
+
+	c := synthetic()
+	c.SampleTypes = []ValueType{{Type: "alloc_space", Unit: "bytes"}}
+	c.Samples = nil
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("merging incompatible sample types succeeded")
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("merging nothing succeeded")
+	}
+}
+
+func TestAttribute(t *testing.T) {
+	p := synthetic()
+	a := Attribute(p, 0, DefaultBuckets())
+	if a.Total != 1000 {
+		t.Fatalf("total = %d", a.Total)
+	}
+	want := map[string]int64{
+		// The crypto/aes leaf is charged to the subsystem that called
+		// it: attribution scans leaf to root.
+		"onioncrypt":  700,
+		"erasure":     200,
+		RuntimeBucket: 50,
+		OtherBucket:   50,
+	}
+	if !reflect.DeepEqual(a.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", a.Buckets, want)
+	}
+	shares := a.Shares()
+	if shares["onioncrypt"] != 0.7 {
+		t.Fatalf("onioncrypt share = %v", shares["onioncrypt"])
+	}
+}
+
+// TestAttributePrefixExactness: the onion. bucket must not swallow
+// onioncrypt frames, and vice versa.
+func TestAttributePrefixExactness(t *testing.T) {
+	p := &Profile{
+		SampleTypes: []ValueType{{Type: "cpu", Unit: "nanoseconds"}},
+		Samples: []Sample{
+			{Stack: []string{"resilientmix/internal/onion.ParseConstructLayer"}, Values: []int64{1}},
+			{Stack: []string{"resilientmix/internal/onioncrypt.ECIES.Open"}, Values: []int64{2}},
+		},
+	}
+	a := Attribute(p, 0, DefaultBuckets())
+	if a.Buckets["onion"] != 1 || a.Buckets["onioncrypt"] != 2 {
+		t.Fatalf("buckets = %+v", a.Buckets)
+	}
+}
+
+func TestTop(t *testing.T) {
+	p := synthetic()
+	top := Top(p, 0, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].Name != "crypto/aes.encryptBlockAsm" || top[0].Flat != 700 || top[0].Cum != 700 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	// main.main is on two stacks: no flat cost, 900 cumulative.
+	for _, e := range Top(p, 0, 0) {
+		if e.Name == "main.main" {
+			if e.Flat != 0 || e.Cum != 900 {
+				t.Fatalf("main.main = %+v", e)
+			}
+			return
+		}
+	}
+	t.Fatal("main.main missing from full top")
+}
+
+func TestWriteReportMentionsBuckets(t *testing.T) {
+	var b bytes.Buffer
+	WriteReport(&b, "cpu (merged)", synthetic(), 0, DefaultBuckets(), 2)
+	out := b.String()
+	for _, needle := range []string{"cpu (merged)", "onioncrypt", "erasure", "top 2 functions"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("report missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	base := Baseline{Buckets: map[string]float64{"onioncrypt": 0.7, "erasure": 0.2}}
+	cur := map[string]float64{"onioncrypt": 0.68, "erasure": 0.22, "other": 0.1}
+	if diags := DiffBaseline("cpu", cur, base, 0.15); len(diags) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", diags)
+	}
+	// onioncrypt collapses, a new bucket eats the profile: two drifts.
+	cur = map[string]float64{"onioncrypt": 0.3, "erasure": 0.2, "wire": 0.5}
+	diags := DiffBaseline("cpu", cur, base, 0.15)
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v, want 2", diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d, "cpu: bucket") {
+			t.Fatalf("diag misses context: %q", d)
+		}
+	}
+}
+
+func TestBaselineFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	bf := BaselineFile{
+		Tolerance: 0.2,
+		Profiles: map[string]Baseline{
+			"cpu": {Buckets: map[string]float64{"onioncrypt": 0.5}},
+		},
+	}
+	if err := WriteBaseline(path, bf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bf, back) {
+		t.Fatalf("baseline round trip drifted: %+v", back)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated varint":  {0x08, 0x80},
+		"bad gzip":          {0x1f, 0x8b, 0x00},
+		"truncated message": {0x12, 0x05, 0x01},
+	}
+	// A sample referencing an out-of-range string index.
+	bad := &Profile{SampleTypes: []ValueType{{Type: "cpu", Unit: "ns"}}}
+	blob := bad.Marshal()
+	// Append a bogus sample_type whose type index points past the table.
+	blob = appendBytesField(blob, 1, appendField(nil, 1, 99))
+	cases["string index out of range"] = blob
+
+	for name, in := range cases {
+		if _, err := ParseBytes(in); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+	// Value-count mismatch: one sample with 1 value against 2 types.
+	p := synthetic()
+	p.Samples[0].Values = p.Samples[0].Values[:1]
+	if _, err := ParseBytes(p.Marshal()); err == nil {
+		t.Error("sample/type count mismatch accepted")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    int64
+		unit string
+		want string
+	}{
+		{1_500_000_000, "nanoseconds", "1.5s"},
+		{2 << 20, "bytes", "2.00MB"},
+		{512, "bytes", "512B"},
+		{7, "count", "7"},
+	} {
+		if got := FormatValue(tc.v, tc.unit); got != tc.want {
+			t.Errorf("FormatValue(%d, %s) = %q, want %q", tc.v, tc.unit, got, tc.want)
+		}
+	}
+}

@@ -33,6 +33,17 @@ func micros(d time.Duration) int64 { return d.Microseconds() }
 //   - repair-spike: paths died at more than one death per four
 //     segments sent over 10s — the paper's repair machinery is
 //     thrashing rather than absorbing failures.
+//
+// Three resource rules watch the runtime telemetry every node samples
+// into its registry (internal/obs.RuntimeCollector):
+//
+//   - goroutine-leak: a node's goroutine count grew 50%+ AND by 500+
+//     goroutines over 10s, twice in a row. The absolute floor keeps
+//     an idle node (a handful of goroutines) from paging on noise.
+//   - heap-growth: heap in-use grew 50%+ AND by 64MB+ over 10s,
+//     twice in a row — unbounded buffering, not GC jitter.
+//   - gc-pause-spike: a node's most recent GC pause exceeded 100ms —
+//     long enough to fail scrapes and stall the data plane.
 func Defaults() []Rule {
 	return []Rule{
 		{
@@ -56,6 +67,18 @@ func Defaults() []Rule {
 			Name: "repair-spike", Kind: BurnRate,
 			Num: "session_paths_dead", Den: "session_segments_sent",
 			Op: OpGT, Value: 0.25, Window: micros(DefaultWindow),
+		},
+		{
+			Name: "goroutine-leak", Kind: Trend, Metric: "runtime_goroutines", PerNode: true,
+			Op: OpGT, Value: 0.5, MinDelta: 500, Window: micros(DefaultWindow), For: 2,
+		},
+		{
+			Name: "heap-growth", Kind: Trend, Metric: "runtime_heap_inuse_bytes", PerNode: true,
+			Op: OpGT, Value: 0.5, MinDelta: 64 << 20, Window: micros(DefaultWindow), For: 2,
+		},
+		{
+			Name: "gc-pause-spike", Kind: Threshold, Metric: "runtime_last_gc_pause_seconds", PerNode: true,
+			Op: OpGT, Value: 0.1,
 		},
 	}
 }

@@ -2,7 +2,7 @@
 // telemetry pipeline: it evaluates declarative rules against a tsdb
 // (internal/obs/tsdb) each scrape tick and emits structured alerts.
 //
-// Five rule kinds cover the failure dynamics the paper's redundancy
+// Six rule kinds cover the failure dynamics the paper's redundancy
 // and repair machinery exists to survive:
 //
 //   - Threshold: the latest value of a series breaches a bound
@@ -17,6 +17,9 @@
 //     the one-shot aggregate check in internal/cluster).
 //   - Flap: a value changed state too many times inside a window
 //     (readiness flapping).
+//   - Trend: a gauge grew too fast over a window, relatively (Value)
+//     and absolutely (MinDelta) at once — the resource-leak form
+//     (goroutine leak, unbounded heap growth).
 //
 // Firing is edge-triggered with hysteresis: a condition must breach
 // For consecutive evaluations to fire, fires exactly once per breach
@@ -61,6 +64,7 @@ const (
 	BurnRate  Kind = "burn"
 	Absence   Kind = "absence"
 	Flap      Kind = "flap"
+	Trend     Kind = "trend"
 )
 
 // Rule is one declarative alerting condition.
@@ -100,6 +104,11 @@ type Rule struct {
 	// at least MinRef over the window.
 	RefMetric string
 	MinRef    float64
+
+	// MinDelta is the Trend rule's absolute-growth floor: relative
+	// growth only breaches when |last − first| also reaches MinDelta,
+	// so a gauge doubling from 3 to 6 on an idle node cannot page.
+	MinDelta float64
 }
 
 // Alert is one fired rule: the structured event the recorder stores
@@ -212,6 +221,8 @@ func (e *Engine) observe(db *tsdb.DB, r Rule) []observation {
 		return e.observeBurn(db, r)
 	case Absence:
 		return e.observeAbsence(db, r)
+	case Trend:
+		return e.observeTrend(db, r)
 	case Flap:
 		return forTargets(db, r, func(group []*tsdb.Series) (float64, bool) {
 			var flips float64
@@ -371,6 +382,64 @@ func (e *Engine) observeAbsence(db *tsdb.DB, r Rule) []observation {
 		out = append(out, ob)
 	}
 	return out
+}
+
+// observeTrend evaluates a Trend rule: the relative growth of a gauge
+// between the first and last points of the window, gated by the
+// MinDelta absolute floor. A target whose window starts at or below
+// zero yields a non-breaching observation (relative growth from
+// nothing is meaningless, and emitting it lets the firing state
+// re-arm).
+func (e *Engine) observeTrend(db *tsdb.DB, r Rule) []observation {
+	groups := groupSeries(db, r)
+	out := make([]observation, 0, len(groups))
+	for _, g := range groups {
+		var first, last float64
+		any := false
+		for _, s := range g.series {
+			if f, l, ok := windowEnds(s, r.Window); ok {
+				first += f
+				last += l
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		growth := last - first
+		ob := observation{target: g.target}
+		if first > 0 {
+			rel := growth / first
+			ob.value = rel
+			ob.breach = r.Op.cmp(rel, r.Value) && math.Abs(growth) >= r.MinDelta
+			if ob.breach {
+				ob.detail = fmt.Sprintf("%s grew %.0f%% in window (%g → %g, Δ%g ≥ %g), breaching %s %g",
+					r.Metric, rel*100, first, last, growth, r.MinDelta, opName(r.Op), r.Value)
+			}
+		}
+		out = append(out, ob)
+	}
+	return out
+}
+
+// windowEnds returns a series' first and last values inside the
+// window ending at its newest point.
+func windowEnds(s *tsdb.Series, win int64) (first, last float64, ok bool) {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return 0, 0, false
+	}
+	last = pts[len(pts)-1].V
+	if win <= 0 {
+		return pts[0].V, last, true
+	}
+	cut := pts[len(pts)-1].At - win
+	for _, p := range pts {
+		if p.At >= cut {
+			return p.V, last, true
+		}
+	}
+	return pts[len(pts)-1].V, last, true
 }
 
 // transitions counts value changes between adjacent points in the

@@ -1,0 +1,144 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"resilientmix/internal/obs/tsdb"
+)
+
+func TestTrendFiresOncePerEpisodeAndRearms(t *testing.T) {
+	db := tsdb.New(64)
+	e := NewEngine(Rule{
+		Name: "leak", Kind: Trend, Metric: "runtime_goroutines", PerNode: true,
+		Op: OpGT, Value: 0.5, MinDelta: 500, Window: 4 * sec, For: 2,
+	})
+
+	// Stable, first leak (fires once despite breaching for several
+	// ticks), plateau (re-arms), second leak (fires again).
+	seq := []float64{1000, 1000, 1000, 1000, 1000, 1000, 1600, 2200, 2200, 2200, 2200, 2200, 2200, 3400, 3600}
+	var all []Alert
+	for i, v := range seq {
+		at := int64(i) * sec
+		db.Append("runtime_goroutines", tsdb.L("node", "1"), at, v)
+		alerts := e.Eval(db, at)
+		all = append(all, alerts...)
+		switch i {
+		case 7, 14:
+			if len(alerts) != 1 {
+				t.Fatalf("tick %d: got %d alerts, want the episode to fire here", i, len(alerts))
+			}
+			if !strings.Contains(alerts[0].Detail, "runtime_goroutines grew") {
+				t.Fatalf("tick %d: detail %q", i, alerts[0].Detail)
+			}
+		default:
+			if len(alerts) != 0 {
+				t.Fatalf("tick %d: unexpected alerts %+v", i, alerts)
+			}
+		}
+	}
+	if len(all) != 2 {
+		t.Fatalf("total alerts = %d, want 2 (one per leak episode)", len(all))
+	}
+}
+
+// TestTrendAbsoluteFloor: an idle node's gauge more than doubling must
+// not fire when the absolute growth is tiny.
+func TestTrendAbsoluteFloor(t *testing.T) {
+	db := tsdb.New(64)
+	e := NewEngine(Rule{
+		Name: "leak", Kind: Trend, Metric: "runtime_goroutines", PerNode: true,
+		Op: OpGT, Value: 0.5, MinDelta: 500, Window: 4 * sec,
+	})
+	for i, v := range []float64{4, 5, 7, 9, 11, 13} {
+		at := int64(i) * sec
+		db.Append("runtime_goroutines", tsdb.L("node", "0"), at, v)
+		if alerts := e.Eval(db, at); len(alerts) != 0 {
+			t.Fatalf("tick %d: fired on %+v despite Δ below MinDelta", i, alerts)
+		}
+	}
+}
+
+// TestTrendZeroBaseline: a gauge appearing from zero yields no
+// relative growth and must not fire (or panic).
+func TestTrendZeroBaseline(t *testing.T) {
+	db := tsdb.New(64)
+	e := NewEngine(Rule{
+		Name: "leak", Kind: Trend, Metric: "runtime_goroutines",
+		Op: OpGT, Value: 0.5, MinDelta: 1, Window: 4 * sec,
+	})
+	for i, v := range []float64{0, 0, 900, 1800} {
+		at := int64(i) * sec
+		db.Append("runtime_goroutines", tsdb.L("node", "0"), at, v)
+		if alerts := e.Eval(db, at); len(alerts) != 0 {
+			t.Fatalf("tick %d: fired from a zero baseline: %+v", i, alerts)
+		}
+	}
+}
+
+// TestInjectedRuntimeEpisodesFireExactlyOnce is the runtime-telemetry
+// counterpart of TestInjectedFailuresFireExactlyOnce: a goroutine leak
+// on one node and a GC pause spike on another, evaluated under the
+// full default rule set, produce exactly one alert each.
+func TestInjectedRuntimeEpisodesFireExactlyOnce(t *testing.T) {
+	db := tsdb.New(256)
+	e := NewEngine(Defaults()...)
+	nodes := []string{"0", "1", "2"}
+
+	var all []Alert
+	for i := 0; i <= 30; i++ {
+		at := int64(i) * sec
+		for _, n := range nodes {
+			l := tsdb.L("node", n)
+			db.Append("up", l, at, 1)
+			db.Append("ready", l, at, 1)
+			// Everyone moves traffic: no silent-relay noise.
+			db.Append("live_frames_out", l, at, float64(i*10))
+			db.Append("live_frames_in_data", l, at, float64(i*10))
+			db.Append("runtime_heap_inuse_bytes", l, at, 50<<20)
+
+			// Node 1 leaks goroutines from t=10, +200/s, plateauing
+			// at 2100 from t=20 — one breach episode.
+			gor := 100.0
+			if n == "1" && i > 10 {
+				gor = 100 + 200*float64(min(i, 20)-10)
+			}
+			db.Append("runtime_goroutines", l, at, gor)
+
+			// Node 2 takes one bad GC episode: 250ms pauses during
+			// t=15..18, normal before and after.
+			pause := 0.002
+			if n == "2" && i >= 15 && i <= 18 {
+				pause = 0.25
+			}
+			db.Append("runtime_last_gc_pause_seconds", l, at, pause)
+		}
+		all = append(all, e.Eval(db, at)...)
+	}
+
+	count := map[string]int{}
+	for _, a := range all {
+		count[a.Rule]++
+	}
+	if count["goroutine-leak"] != 1 {
+		t.Errorf("goroutine-leak fired %d times, want exactly 1 (alerts: %+v)", count["goroutine-leak"], all)
+	}
+	if count["gc-pause-spike"] != 1 {
+		t.Errorf("gc-pause-spike fired %d times, want exactly 1 (alerts: %+v)", count["gc-pause-spike"], all)
+	}
+	if len(all) != 2 {
+		t.Errorf("total alerts = %d, want 2: %+v", len(all), all)
+	}
+	for _, a := range all {
+		switch a.Rule {
+		case "goroutine-leak":
+			if !strings.Contains(a.Series, `node="1"`) {
+				t.Errorf("goroutine-leak flagged %q, want node 1", a.Series)
+			}
+		case "gc-pause-spike":
+			if !strings.Contains(a.Series, `node="2"`) {
+				t.Errorf("gc-pause-spike flagged %q, want node 2", a.Series)
+			}
+		}
+	}
+}

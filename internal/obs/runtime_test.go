@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestRuntimeCollectorGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+
+	// Force at least one GC cycle and resample past the throttle.
+	runtime.GC()
+	c.mu.Lock()
+	c.collect()
+	c.mu.Unlock()
+
+	s := c.Stats()
+	if s.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d", s.Goroutines)
+	}
+	if s.HeapInuseBytes == 0 {
+		t.Fatal("heap in-use = 0")
+	}
+	if s.NumGC == 0 {
+		t.Fatal("no GC cycle recorded after runtime.GC()")
+	}
+	if s.LastGCPauseSeconds <= 0 {
+		t.Fatalf("last GC pause = %v", s.LastGCPauseSeconds)
+	}
+
+	// The gauges must be visible through the plain registry snapshot —
+	// that is the whole point (recorder/tsdb/rules see them for free).
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"runtime.goroutines", "runtime.heap_inuse_bytes", "runtime.heap_objects",
+		"runtime.gc_cycles", "runtime.last_gc_pause_seconds", "runtime.gc_cpu_fraction",
+		"runtime.gc_pause_p50_seconds", "runtime.gc_pause_p99_seconds",
+		"runtime.sched_latency_p50_seconds", "runtime.sched_latency_p99_seconds",
+		"runtime.heap_alloc_bytes",
+	} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing from snapshot", name)
+		}
+	}
+}
+
+func TestRuntimeCollectorThrottle(t *testing.T) {
+	c := NewRuntimeCollector(NewRegistry())
+	// The constructor just sampled; an immediate Collect must be a
+	// no-op, leaving a planted sentinel untouched.
+	c.goroutines.Set(-1)
+	c.Collect()
+	if v := c.goroutines.Value(); v != -1 {
+		t.Fatalf("throttled Collect resampled (goroutines = %v)", v)
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 2, 1},
+		Buckets: []float64{0, 1, 2, 3},
+	}
+	if got := histQuantile(h, 0); got != 0.5 {
+		t.Fatalf("q0 = %v, want first bucket midpoint 0.5", got)
+	}
+	if got := histQuantile(h, 0.5); got != 1.5 {
+		t.Fatalf("q0.5 = %v, want 1.5", got)
+	}
+	if got := histQuantile(h, 0.99); got != 2.5 {
+		t.Fatalf("q0.99 = %v, want 2.5", got)
+	}
+
+	// Infinite edge buckets collapse to the finite neighbour.
+	inf := &metrics.Float64Histogram{
+		Counts:  []uint64{5},
+		Buckets: []float64{1, 2},
+	}
+	if got := histQuantile(inf, 0.5); got != 1.5 {
+		t.Fatalf("finite bucket q0.5 = %v", got)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if got := histQuantile(empty, 0.5); got != 0 {
+		t.Fatalf("empty histogram q = %v", got)
+	}
+	if got := histQuantile(nil, 0.5); got != 0 {
+		t.Fatalf("nil histogram q = %v", got)
+	}
+}

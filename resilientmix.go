@@ -12,6 +12,7 @@ import (
 	"resilientmix/internal/netsim"
 	"resilientmix/internal/obs"
 	"resilientmix/internal/obs/analyze"
+	"resilientmix/internal/obs/prof"
 	"resilientmix/internal/onioncrypt"
 	"resilientmix/internal/perfbench"
 	"resilientmix/internal/predictor"
@@ -308,7 +309,7 @@ var ReadRunReport = obs.ReadReport
 
 // StartProfiles starts CPU and/or heap profiling; the returned stop
 // function must run on every exit path.
-var StartProfiles = obs.StartProfiles
+var StartProfiles = prof.StartProfiles
 
 // PerfReport is the machine-readable micro-benchmark summary written
 // by anonbench -bench-json. BENCH_PR4.json at the repository root is
