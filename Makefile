@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke profile-smoke lint-http clean
+.PHONY: all build test race bench bench-json bench-check bench-shards repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke profile-smoke lint-http clean
 
 all: build test
 
@@ -23,15 +23,29 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # Refresh the committed machine-readable benchmark baseline
-# (BENCH_PR4.json) after a deliberate performance change. See
-# DESIGN.md "Performance" for how to read the file.
+# (BENCH_PR9.json) after a deliberate performance change. See
+# DESIGN.md "Performance" for how to read the file. The report records
+# num_cpu; sharded-engine scaling metrics only gate against baselines
+# taken on a host with the same CPU count.
 bench-json:
-	$(GO) run ./cmd/anonbench -bench-json BENCH_PR4.json
+	$(GO) run ./cmd/anonbench -bench-json BENCH_PR9.json
 
 # Gate the working tree against the committed baseline; exits 1 when
-# any headline metric regresses by more than 20%.
+# any headline metric regresses by more than 20%, or (on hosts with
+# >= 8 CPUs) when the K=8 sharded engine falls below 3x over K=1.
 bench-check:
-	$(GO) run ./cmd/anonbench -bench-baseline BENCH_PR4.json
+	$(GO) run ./cmd/anonbench -bench-baseline BENCH_PR9.json
+
+# Sharded-engine correctness under the race detector at two scheduler
+# widths, then the scaling curve. The K-invariance oracle
+# (TestShardCountInvariance) runs the same 256-node churn scenario at
+# K=1,2,4,8 and requires byte-identical traces.
+bench-shards:
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/sim/... -run 'Shard|Determinism'
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/sim/... -run 'Shard|Determinism'
+	GOMAXPROCS=8 $(GO) test -race -count=1 . -run TestShardCountInvariance
+	$(GO) run ./cmd/anonbench -bench-json bench-shards.json
+	@grep -E 'sim\.shard|num_cpu' bench-shards.json
 
 # Full paper-scale reproduction of every table/figure + extensions,
 # with CSV exports for plotting. anonbench also takes -trace/-report/
@@ -123,4 +137,4 @@ examples:
 clean:
 	rm -rf data results_full.txt test_output.txt bench_output.txt \
 		trace.jsonl trace.jsonl.gz report.json cpu.pprof mem.pprof \
-		bin live-trace.jsonl watch-run.tsdb.gz
+		bin live-trace.jsonl watch-run.tsdb.gz bench-shards.json

@@ -38,6 +38,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "run the headline micro-benchmarks and write a machine-readable report to this file (experiments, if also requested, contribute ungated wall times)")
 		benchBase = flag.String("bench-baseline", "", "compare the micro-benchmark report against this committed baseline and exit 1 on regression (implies the benchmarks run even without -bench-json)")
 		benchTol  = flag.Float64("bench-tolerance", 0.20, "relative regression tolerance for -bench-baseline gating")
+		shardsMax = flag.Int("shards", 0, "cap the sharded-engine scaling benchmarks at this shard count (0 = full K=1,2,4,8 curve)")
 	)
 	flag.Parse()
 
@@ -167,7 +168,7 @@ func main() {
 
 	if benchMode {
 		fmt.Fprintln(os.Stderr, "[running micro-benchmarks]")
-		rep := rm.RunPerfBench()
+		rep := rm.RunPerfBench(*shardsMax)
 		// Quick-mode experiment wall times ride along as ungated info.
 		for k, v := range outcome {
 			if strings.HasSuffix(k, ".wall_seconds") {
@@ -192,6 +193,11 @@ func main() {
 					fmt.Fprintln(os.Stderr, "  ", g)
 				}
 				os.Exit(1)
+			}
+			// Absolute parallel-scaling gate, applied only on hosts
+			// with enough CPUs to demonstrate 8-way scaling.
+			if err := rm.PerfScalingGate(rep); err != nil {
+				fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "[benchmarks within %.0f%% of %s]\n", *benchTol*100, *benchBase)
 		}

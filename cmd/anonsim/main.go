@@ -17,6 +17,9 @@ import (
 	"time"
 
 	rm "resilientmix"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/shardworld"
 )
 
 func main() {
@@ -42,6 +45,7 @@ func main() {
 		analyzeF = flag.Bool("analyze", false, "run offline trace analytics (causal reconstruction, latency attribution, anonymity) and embed the summary in the report")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		shards   = flag.Int("shards", 0, "run the multi-core sharded message-plane simulation (churn + background traffic, no protocol sessions) with this many parallel shards; 0 = classic full-protocol single-engine simulation, 1 = sharded code path on one goroutine. The trace is byte-identical for every shard count. Honors -n, -seed, -dist, -median, -loss, -interval, -msg, -cap, -trace, -report")
 	)
 	flag.Parse()
 
@@ -101,6 +105,16 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *shards > 0 {
+		runSharded(shardedRun{
+			n: *n, shards: *shards, seed: *seed, lifetime: lifetime,
+			loss: *loss, interval: *interval, horizon: *capDur,
+			msgSize: *msgSize, trace: traceFile, reportPath: *reportP,
+			cfg: cfgMap, wallStart: wallStart, stopProf: stopProf,
+		})
+		return
 	}
 
 	var mode rm.MembershipMode
@@ -308,6 +322,91 @@ func main() {
 		outcome["mean_latency_ms"] = sum / float64(len(latencies))
 	}
 	finishObs(outcome)
+}
+
+// shardedRun carries the flag subset the sharded message-plane mode
+// honors.
+type shardedRun struct {
+	n, shards  int
+	seed       int64
+	lifetime   rm.LifetimeDist
+	loss       float64
+	interval   time.Duration
+	horizon    time.Duration
+	msgSize    int
+	trace      *rm.TraceFile
+	reportPath string
+	cfg        map[string]string
+	wallStart  time.Time
+	stopProf   func() error
+}
+
+// runSharded executes the sharded world: K parallel shards over the
+// same churned, traffic-generating network, with a trace stream that
+// is byte-identical for every K.
+func runSharded(a shardedRun) {
+	var tr rm.Tracer
+	if a.trace != nil {
+		tr = a.trace
+	}
+	w, err := shardworld.New(shardworld.Config{
+		Nodes:           a.n,
+		Shards:          a.shards,
+		Seed:            a.seed,
+		LossRate:        a.loss,
+		Lifetime:        a.lifetime,
+		Pinned:          []netsim.NodeID{0, 1},
+		TrafficInterval: rm.Time(a.interval.Microseconds()),
+		MsgSize:         a.msgSize,
+		Tracer:          tr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sharded network: %d nodes over %d shard(s), lookahead %v\n",
+		a.n, a.shards, w.Lookahead)
+	horizon := rm.Time(a.horizon.Microseconds())
+	w.Run(horizon)
+	fmt.Println(w.Summary())
+
+	if a.trace != nil {
+		if err := a.trace.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if a.reportPath != "" {
+		st := w.Net.Stats()
+		rep := &rm.RunReport{
+			SchemaVersion:  rm.RunReportSchemaVersion,
+			Name:           "anonsim-sharded",
+			Seed:           a.seed,
+			Config:         a.cfg,
+			VirtualSeconds: horizon.Seconds(),
+			WallSeconds:    time.Since(a.wallStart).Seconds(),
+			EventsExecuted: w.Cluster.Executed(),
+			Outcome: map[string]float64{
+				"shards":            float64(a.shards),
+				"lookahead_us":      float64(w.Lookahead),
+				"sent":              float64(st.Sent),
+				"delivered":         float64(st.Delivered),
+				"dropped_sender":    float64(st.DroppedSender),
+				"dropped_receiver":  float64(st.DroppedReceiver),
+				"dropped_loss":      float64(st.DroppedLoss),
+				"bytes":             float64(st.Bytes),
+				"churn_transitions": float64(w.Churn.Transitions()),
+				"up_nodes":          float64(w.Net.UpCount()),
+			},
+		}
+		if a.trace != nil {
+			rep.TraceEvents = a.trace.Events()
+		}
+		if err := rep.WriteJSONFile(a.reportPath); err != nil {
+			fatal(err)
+		}
+	}
+	if err := a.stopProf(); err != nil {
+		fatal(err)
+	}
 }
 
 func capNote(deadAt rm.Time) string {

@@ -1,0 +1,95 @@
+package churn
+
+import (
+	"fmt"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/sim"
+	"resilientmix/internal/sim/shard"
+	"resilientmix/internal/stats"
+)
+
+// ShardedDriver churns a sharded network. It mirrors Driver's model —
+// alternating up/down intervals drawn from the lifetime/downtime
+// distributions, optional pinned nodes — but every node's transitions
+// are scheduled on that node's own shard and its intervals are drawn
+// from the node's private RNG stream, so the sampled timeline of each
+// node is invariant under the shard count.
+type ShardedDriver struct {
+	net      *netsim.ShardedNetwork
+	lifetime stats.Dist
+	downtime stats.Dist
+	pinned   map[netsim.NodeID]bool
+	started  bool
+
+	transitions []uint64 // per shard, summed on read
+}
+
+// NewShardedDriver creates a churn driver for the sharded network.
+// downtime may be nil to reuse the lifetime distribution, matching the
+// paper's symmetric leave/rejoin model.
+func NewShardedDriver(net *netsim.ShardedNetwork, lifetime, downtime stats.Dist, pinned ...netsim.NodeID) (*ShardedDriver, error) {
+	if lifetime == nil {
+		return nil, fmt.Errorf("churn: lifetime distribution is required")
+	}
+	if downtime == nil {
+		downtime = lifetime
+	}
+	d := &ShardedDriver{
+		net:         net,
+		lifetime:    lifetime,
+		downtime:    downtime,
+		pinned:      make(map[netsim.NodeID]bool),
+		transitions: make([]uint64, net.Cluster().Shards()),
+	}
+	for _, id := range pinned {
+		d.pinned[id] = true
+	}
+	return d, nil
+}
+
+// Start begins churning: every unpinned node is up now and will leave
+// after a session time sampled from its own stream. Call once, at
+// setup time.
+func (d *ShardedDriver) Start() error {
+	if d.started {
+		return fmt.Errorf("churn: driver already started")
+	}
+	d.started = true
+	c := d.net.Cluster()
+	for i := 0; i < c.Nodes(); i++ {
+		if d.pinned[netsim.NodeID(i)] {
+			continue
+		}
+		d.scheduleLeave(c.Proc(i))
+	}
+	return nil
+}
+
+// Transitions sums the per-shard transition counters. Call it between
+// runs, not while shards are executing.
+func (d *ShardedDriver) Transitions() uint64 {
+	var total uint64
+	for _, t := range d.transitions {
+		total += t
+	}
+	return total
+}
+
+func (d *ShardedDriver) scheduleLeave(p *shard.Proc) {
+	session := sim.FromSeconds(d.lifetime.Sample(p.RNG()))
+	p.Schedule(session, func(q *shard.Proc) {
+		d.transitions[q.Shard()]++
+		d.net.SetUp(q, false)
+		d.scheduleJoin(q)
+	})
+}
+
+func (d *ShardedDriver) scheduleJoin(p *shard.Proc) {
+	down := sim.FromSeconds(d.downtime.Sample(p.RNG()))
+	p.Schedule(down, func(q *shard.Proc) {
+		d.transitions[q.Shard()]++
+		d.net.SetUp(q, true)
+		d.scheduleLeave(q)
+	})
+}

@@ -1,7 +1,7 @@
 // Micro-benchmarks for the erasure hot paths: non-systematic encode
 // (the parity rows of Split), non-systematic decode (Reconstruct from
 // parity segments, exercising the decoding-matrix path), and the
-// systematic fast path. These are the numbers BENCH_PR4.json tracks;
+// systematic fast path. These are the numbers BENCH_PR9.json tracks;
 // cmd/anonbench -bench-json runs the same shapes via internal/perfbench.
 package erasure
 

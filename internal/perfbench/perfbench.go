@@ -3,13 +3,17 @@
 // writes, and compares the machine-readable reports that
 // cmd/anonbench's -bench-json mode produces.
 //
-// The committed baseline lives at BENCH_PR4.json in the repository
+// The committed baseline lives at BENCH_PR9.json in the repository
 // root; CI regenerates a report on every push and fails when any gated
 // metric regresses by more than the tolerance. Gating direction is
-// encoded in the metric name suffix: ".mbps" and ".events_per_sec" are
-// higher-is-better, ".allocs_per_op" is lower-is-better. Entries under
-// Info (wall-clock times and machine facts) are recorded but never
-// gated — they vary with host load in ways throughput-per-op does not.
+// encoded in the metric name suffix: ".mbps", ".events_per_sec",
+// ".speedup" and ".parallel_efficiency" are higher-is-better,
+// ".allocs_per_op" is lower-is-better. The "sim.shard." scaling
+// metrics are additionally compared only between reports from hosts
+// with equal num_cpu, and the absolute >=3x K=8 speedup requirement
+// (ScalingGate) applies only on 8+-CPU hosts. Entries under Info
+// (wall-clock times and machine facts) are recorded but never gated —
+// they vary with host load in ways throughput-per-op does not.
 package perfbench
 
 import (
@@ -22,7 +26,9 @@ import (
 	"testing"
 	"time"
 
+	"resilientmix/internal/churn"
 	"resilientmix/internal/erasure"
+	"resilientmix/internal/shardworld"
 	"resilientmix/internal/sim"
 )
 
@@ -68,9 +74,11 @@ func benchMsg() []byte {
 }
 
 // Run executes the headline micro-benchmarks — erasure encode/decode
-// throughput per (m, n) shape and the simulation engine's event loop —
-// and returns a fresh report. It takes on the order of ten seconds.
-func Run() *Report {
+// throughput per (m, n) shape, the simulation engine's event loop, and
+// the sharded engine's scaling curve at K = 1, 2, 4, 8 (capped at
+// maxShards; 0 means the full curve) — and returns a fresh report. It
+// takes on the order of tens of seconds.
+func Run(maxShards int) *Report {
 	r := &Report{
 		SchemaVersion: SchemaVersion,
 		GoOS:          runtime.GOOS,
@@ -156,7 +164,96 @@ func Run() *Report {
 	r.Metrics["sim.engine.events_per_sec"] = float64(eng.N) / eng.T.Seconds()
 	r.Metrics["sim.engine.schedule.allocs_per_op"] = float64(eng.AllocsPerOp())
 
+	// Sharded engine scaling: the same churned message-plane world at
+	// K = 1, 2, 4, 8 shards. The sim.shard.* metrics only mean
+	// anything relative to a baseline from a machine with the same CPU
+	// count (the report records num_cpu; Compare skips them on a
+	// mismatch), and the absolute >=3x speedup gate applies only on
+	// hosts with at least 8 CPUs — see ScalingGate.
+	if maxShards <= 0 {
+		maxShards = ShardCounts[len(ShardCounts)-1]
+	}
+	var k1 float64
+	for _, k := range ShardCounts {
+		if k > maxShards && k != 1 {
+			continue
+		}
+		eps := shardEventsPerSec(k)
+		r.Metrics[fmt.Sprintf("sim.shard.k%d.events_per_sec", k)] = eps
+		if k == 1 {
+			k1 = eps
+		}
+	}
+	if k8, ok := r.Metrics["sim.shard.k8.events_per_sec"]; ok && k1 > 0 {
+		r.Metrics["sim.shard.k8.speedup"] = k8 / k1
+		r.Metrics["sim.shard.k8.parallel_efficiency"] = k8 / k1 / 8
+	}
+	r.Info["info.shard.gomaxprocs"] = float64(runtime.GOMAXPROCS(0))
+	r.Info["info.shard.bench_nodes"] = shardBenchNodes
+
 	return r
+}
+
+// ShardCounts are the shard-scaling benchmark points.
+var ShardCounts = []int{1, 2, 4, 8}
+
+const (
+	shardBenchNodes    = 512
+	shardBenchHorizon  = 4 * sim.Minute
+	shardBenchInterval = 500 * sim.Millisecond
+	shardBenchReps     = 3
+)
+
+// shardEventsPerSec runs the canonical sharded scenario (churn plus
+// random-peer traffic, no tracer) at the given shard count and returns
+// the best executed-events-per-wall-second over a few repetitions —
+// max, not mean, because the quantity being measured is engine
+// capacity, and interference only ever subtracts from it.
+func shardEventsPerSec(k int) float64 {
+	best := 0.0
+	for rep := 0; rep < shardBenchReps; rep++ {
+		w, err := shardworld.New(shardworld.Config{
+			Nodes:           shardBenchNodes,
+			Shards:          k,
+			Seed:            99,
+			Lifetime:        churn.DefaultLifetime(),
+			TrafficInterval: shardBenchInterval,
+		})
+		if err != nil {
+			panic(err) // config is compile-time constant
+		}
+		start := time.Now()
+		w.Run(shardBenchHorizon)
+		if el := time.Since(start).Seconds(); el > 0 {
+			if v := float64(w.Cluster.Executed()) / el; v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// MinSpeedupK8 is the absolute multi-core scaling requirement: on a
+// host with at least 8 CPUs, the K=8 sharded engine must run the
+// scenario at least this many times faster than K=1.
+const MinSpeedupK8 = 3.0
+
+// ScalingGate enforces MinSpeedupK8 on reports produced by hosts that
+// can actually demonstrate 8-way parallelism. On hosts with fewer than
+// 8 CPUs the speedup is recorded but not gated — a 1-CPU laptop cannot
+// fail a parallel-scaling requirement it cannot exercise.
+func ScalingGate(r *Report) error {
+	if r.NumCPU < 8 {
+		return nil
+	}
+	s, ok := r.Metrics["sim.shard.k8.speedup"]
+	if !ok {
+		return fmt.Errorf("perfbench: host has %d CPUs but the report carries no sim.shard.k8.speedup metric", r.NumCPU)
+	}
+	if s < MinSpeedupK8 {
+		return fmt.Errorf("perfbench: K=8 speedup %.2fx below the required %.1fx on a %d-CPU host", s, MinSpeedupK8, r.NumCPU)
+	}
+	return nil
 }
 
 func mbps(res testing.BenchmarkResult) float64 {
@@ -223,6 +320,12 @@ func lowerBetter(name string) bool { return strings.HasSuffix(name, ".allocs_per
 // baseline but missing from current also fails (a silently dropped
 // benchmark must not pass the gate). Metrics new in current are
 // ignored until the baseline is refreshed.
+//
+// The "sim.shard." parallel-scaling metrics are compared only when the
+// two reports come from hosts with the same CPU count: a speedup
+// measured on 8 cores and one measured on 1 core are different
+// quantities, and gating one against the other would be noise. The
+// reports' num_cpu field exists precisely so this check is possible.
 func Compare(baseline, current *Report, tolerance float64) []Regression {
 	var regs []Regression
 	keys := make([]string, 0, len(baseline.Metrics))
@@ -230,7 +333,11 @@ func Compare(baseline, current *Report, tolerance float64) []Regression {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	sameCPU := baseline.NumCPU == current.NumCPU
 	for _, k := range keys {
+		if strings.HasPrefix(k, "sim.shard.") && !sameCPU {
+			continue
+		}
 		base := baseline.Metrics[k]
 		cur, ok := current.Metrics[k]
 		if !ok {

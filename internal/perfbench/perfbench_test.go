@@ -73,6 +73,69 @@ func TestCompareMissingMetricFails(t *testing.T) {
 	}
 }
 
+func TestCompareSkipsShardMetricsAcrossCPUCounts(t *testing.T) {
+	base := report(map[string]float64{
+		"erasure.encode.m4_n8.mbps":   1000,
+		"sim.shard.k8.events_per_sec": 8e6,
+		"sim.shard.k8.speedup":        4,
+		"sim.shard.k1.events_per_sec": 2e6,
+		"sim.engine.events_per_sec":   1e7,
+	})
+	base.NumCPU = 8
+	// A 1-CPU host reruns the suite: its scaling numbers are a
+	// different quantity and must not gate against the 8-CPU baseline,
+	// but the machine-independent metrics still do.
+	cur := report(map[string]float64{
+		"erasure.encode.m4_n8.mbps":   950,
+		"sim.shard.k8.events_per_sec": 1e6, // would fail on the same CPU count
+		"sim.shard.k8.speedup":        0.9,
+		"sim.shard.k1.events_per_sec": 1.5e6,
+		"sim.engine.events_per_sec":   1e7,
+	})
+	cur.NumCPU = 1
+	if regs := Compare(base, cur, 0.20); len(regs) != 0 {
+		t.Fatalf("shard metrics gated across differing CPU counts: %v", regs)
+	}
+	// Same CPU count: the scaling regression must be caught.
+	cur.NumCPU = 8
+	regs := Compare(base, cur, 0.20)
+	if len(regs) != 3 {
+		t.Fatalf("got %v, want the three sim.shard regressions", regs)
+	}
+	for _, g := range regs {
+		if !strings.HasPrefix(g.Metric, "sim.shard.") {
+			t.Fatalf("unexpected regression %v", g)
+		}
+	}
+}
+
+func TestScalingGate(t *testing.T) {
+	// Fewer than 8 CPUs: recorded, never gated.
+	small := report(map[string]float64{"sim.shard.k8.speedup": 0.8})
+	small.NumCPU = 4
+	if err := ScalingGate(small); err != nil {
+		t.Fatalf("gated a %d-CPU host: %v", small.NumCPU, err)
+	}
+	// 8 CPUs with a healthy speedup passes.
+	good := report(map[string]float64{"sim.shard.k8.speedup": 3.4})
+	good.NumCPU = 8
+	if err := ScalingGate(good); err != nil {
+		t.Fatalf("healthy speedup gated: %v", err)
+	}
+	// 8 CPUs below the bar fails.
+	slow := report(map[string]float64{"sim.shard.k8.speedup": 2.1})
+	slow.NumCPU = 8
+	if err := ScalingGate(slow); err == nil {
+		t.Fatal("2.1x speedup on an 8-CPU host passed the 3x gate")
+	}
+	// 8 CPUs with the metric silently missing must not pass.
+	missing := report(map[string]float64{})
+	missing.NumCPU = 16
+	if err := ScalingGate(missing); err == nil {
+		t.Fatal("missing speedup metric passed the gate")
+	}
+}
+
 func TestReportRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

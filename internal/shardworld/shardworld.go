@@ -1,0 +1,189 @@
+// Package shardworld assembles a complete sharded message-plane
+// simulation: a latency topology, a shard cluster with conservative
+// lookahead derived from that topology, a sharded network, Pareto
+// churn, and a background traffic workload in which every node
+// periodically messages a random peer. It is the scenario behind
+// `anonsim -shards`, the cross-shard determinism property test, and
+// the shard scaling benchmarks.
+//
+// Scale switches the topology representation: dense Matrix latencies
+// up to Config.DenseLimit nodes (exact cross-shard minimum, tightest
+// lookahead), the O(n)-memory Geo embedding beyond it, which is what
+// makes 100k+ node sweeps fit in memory.
+package shardworld
+
+import (
+	"fmt"
+	"sync"
+
+	"resilientmix/internal/churn"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim"
+	"resilientmix/internal/sim/shard"
+	"resilientmix/internal/stats"
+	"resilientmix/internal/topology"
+)
+
+// Config describes a sharded world.
+type Config struct {
+	// Nodes is the network size.
+	Nodes int
+	// Shards is the parallel shard count K; 1 reproduces the
+	// sequential schedule on a single goroutine.
+	Shards int
+	// Seed derives the topology, every per-node RNG stream, and hence
+	// the entire history.
+	Seed int64
+	// MeanRTT is the topology's target mean round-trip time
+	// (default topology.DefaultMeanRTT).
+	MeanRTT sim.Time
+	// LossRate is random link loss in [0, 1].
+	LossRate float64
+	// Lifetime, when non-nil, enables churn with this session-time
+	// distribution; Downtime defaults to Lifetime.
+	Lifetime stats.Dist
+	Downtime stats.Dist
+	// Pinned nodes never churn.
+	Pinned []netsim.NodeID
+	// TrafficInterval is the mean per-node send interval
+	// (default 10 s); each node's actual gaps are uniform in
+	// [interval/2, 3*interval/2), drawn from its own stream.
+	TrafficInterval sim.Time
+	// MsgSize is the payload size in bytes (default 1024).
+	MsgSize int
+	// DenseLimit is the largest node count simulated on a dense
+	// latency matrix (default 2048); larger worlds use the O(n) Geo
+	// embedding.
+	DenseLimit int
+	// Tracer, when non-nil, receives the canonical merged trace.
+	Tracer obs.Tracer
+}
+
+// World is a running sharded scenario.
+type World struct {
+	Cluster   *shard.Cluster
+	Net       *netsim.ShardedNetwork
+	Churn     *churn.ShardedDriver // nil without a lifetime distribution
+	Topology  topology.Latency
+	Lookahead sim.Time
+
+	msgSize  int
+	interval sim.Time
+	// pool recycles payload buffers across messages. Cross-shard
+	// messages are the hot path: the payload travels through the SPSC
+	// mailbox inside the scheduled closure and is returned here on
+	// delivery (or abandoned to the GC on loss).
+	pool sync.Pool
+}
+
+// New builds the world and schedules its initial events; call Run to
+// execute.
+func New(cfg Config) (*World, error) {
+	if cfg.MeanRTT == 0 {
+		cfg.MeanRTT = topology.DefaultMeanRTT
+	}
+	if cfg.TrafficInterval == 0 {
+		cfg.TrafficInterval = 10 * sim.Second
+	}
+	if cfg.MsgSize == 0 {
+		cfg.MsgSize = 1024
+	}
+	if cfg.DenseLimit == 0 {
+		cfg.DenseLimit = 2048
+	}
+
+	var lat topology.Latency
+	var err error
+	if cfg.Nodes <= cfg.DenseLimit {
+		lat, err = topology.Generate(cfg.Nodes, cfg.MeanRTT, cfg.Seed)
+	} else {
+		lat, err = topology.NewGeo(cfg.Nodes, cfg.MeanRTT, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	assign := shard.BlockAssign(cfg.Nodes, cfg.Shards)
+	la := topology.LookaheadFor(lat, assign)
+	cl, err := shard.New(shard.Config{
+		Nodes:     cfg.Nodes,
+		Shards:    cfg.Shards,
+		Seed:      cfg.Seed,
+		Lookahead: la,
+		Tracer:    cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net, err := netsim.NewSharded(cl, lat)
+	if err != nil {
+		return nil, err
+	}
+	net.SetLossRate(cfg.LossRate)
+
+	w := &World{
+		Cluster:   cl,
+		Net:       net,
+		Topology:  lat,
+		Lookahead: la,
+		msgSize:   cfg.MsgSize,
+		interval:  cfg.TrafficInterval,
+	}
+	w.pool.New = func() any { return make([]byte, cfg.MsgSize) }
+
+	for i := 0; i < cfg.Nodes; i++ {
+		id := netsim.NodeID(i)
+		net.SetHandler(id, w.receive)
+	}
+	if cfg.Lifetime != nil {
+		w.Churn, err = churn.NewShardedDriver(net, cfg.Lifetime, cfg.Downtime, cfg.Pinned...)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Churn.Start(); err != nil {
+			return nil, err
+		}
+	}
+	// Stagger first sends uniformly over one interval, per-node stream.
+	for i := 0; i < cfg.Nodes; i++ {
+		p := cl.Proc(i)
+		p.Schedule(sim.Time(p.RNG().Int63n(int64(w.interval))), w.tick)
+	}
+	return w, nil
+}
+
+// tick sends one message to a random peer and reschedules itself. A
+// down node skips the wire (Send drops at the sender) but keeps
+// ticking, so its timeline — and its RNG stream — advance identically
+// whether or not churn took it down.
+func (w *World) tick(p *shard.Proc) {
+	n := w.Cluster.Nodes()
+	dst := p.RNG().Intn(n - 1)
+	if dst >= p.ID() {
+		dst++
+	}
+	buf := w.pool.Get().([]byte)
+	w.Net.Send(p, netsim.NodeID(dst), netsim.Message{Payload: buf, Size: w.msgSize})
+	gap := w.interval/2 + sim.Time(p.RNG().Int63n(int64(w.interval)))
+	p.Schedule(gap, w.tick)
+}
+
+// receive recycles the payload buffer.
+func (w *World) receive(p *shard.Proc, from netsim.NodeID, msg netsim.Message) {
+	if buf, ok := msg.Payload.([]byte); ok {
+		w.pool.Put(buf)
+	}
+}
+
+// Run advances the world to the given horizon.
+func (w *World) Run(until sim.Time) { w.Cluster.Run(until) }
+
+// Summary is a one-line accounting of a finished run.
+func (w *World) Summary() string {
+	st := w.Net.Stats()
+	return fmt.Sprintf("events=%d sent=%d delivered=%d dropped=%d bytes=%d up=%d/%d shards=%d lookahead=%v",
+		w.Cluster.Executed(), st.Sent, st.Delivered,
+		st.DroppedSender+st.DroppedReceiver+st.DroppedLoss, st.Bytes,
+		w.Net.UpCount(), w.Cluster.Nodes(), w.Cluster.Shards(), w.Lookahead)
+}

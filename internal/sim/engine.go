@@ -115,14 +115,38 @@ func (q *eventQueue) pop() event {
 	return top
 }
 
+// siftDown restores the heap property below index i, assuming both
+// subtrees of i are already heaps. It is the building block compaction
+// uses to re-heapify in O(n).
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	ev := q[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventBefore(&q[r], &q[c]) {
+			c = r
+		}
+		if !eventBefore(&q[c], &ev) {
+			break
+		}
+		q[i] = q[c]
+		i = c
+	}
+	q[i] = ev
+}
+
 // Engine is a deterministic discrete-event simulator.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	rng     *rand.Rand
-	stopped bool
-	ran     uint64 // events executed, for diagnostics
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	rng      *rand.Rand
+	stopped  bool
+	ran      uint64 // events executed, for diagnostics
+	canceled int    // canceled entries still occupying queue slots
 
 	// tracer, when non-nil, receives EventScheduled/EventFired for
 	// every queue operation. The nil default costs one branch per
@@ -161,22 +185,24 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	e.schedule(e.now+delay, fn, nil)
+	e.schedule(e.now+delay, fn, nil, "Schedule")
 }
 
 // ScheduleAt runs fn at the given absolute virtual time. Times in the
 // past are clamped to now.
 func (e *Engine) ScheduleAt(at Time, fn func()) {
-	e.schedule(at, fn, nil)
+	e.schedule(at, fn, nil, "ScheduleAt")
 }
 
 // schedule is the single enqueue path: clamp, number, trace, push.
 // cancel, when non-nil, marks the event for lazy deletion — the run
 // loop still pops and counts it (so seeded histories and the executed
-// counter match the always-fire behaviour exactly) but skips fn.
-func (e *Engine) schedule(at Time, fn func(), cancel *bool) {
+// counter match the always-fire behaviour exactly) but skips fn. op is
+// the public entry point's name, so a nil-callback panic names the call
+// the user actually made.
+func (e *Engine) schedule(at Time, fn func(), cancel *bool, op string) {
 	if fn == nil {
-		panic("sim: ScheduleAt with nil callback")
+		panic("sim: " + op + " with nil callback")
 	}
 	if at < e.now {
 		at = e.now
@@ -194,14 +220,65 @@ func (e *Engine) schedule(at Time, fn func(), cancel *bool) {
 
 // Timer is a cancelable scheduled callback.
 type Timer struct {
+	eng      *Engine
 	canceled *bool
 }
 
 // Cancel stops the timer; the callback will not run. Cancel after firing
-// is a no-op.
+// is a no-op. The queue entry is lazily deleted; when canceled entries
+// come to dominate the queue the engine compacts them away (see
+// Engine.compact).
 func (t *Timer) Cancel() {
-	if t != nil && t.canceled != nil {
-		*t.canceled = true
+	if t == nil || t.canceled == nil || *t.canceled {
+		return
+	}
+	*t.canceled = true
+	if t.eng != nil {
+		t.eng.noteCanceled()
+	}
+}
+
+// noteCanceled accounts a newly canceled timer and compacts the queue
+// when canceled entries exceed half of it. The counter can overcount
+// when a timer is canceled after it already fired (its entry is gone);
+// compaction recounts from the queue itself, so drift only ever costs a
+// sweep, never correctness.
+func (e *Engine) noteCanceled() {
+	e.canceled++
+	// Sweep once canceled entries exceed half the queue. Each sweep
+	// removes over half the entries, so the amortized cost per cancel
+	// is O(1) even under mass cancellation. The strict inequality means
+	// a queue whose canceled entries are exactly half (e.g. one of two)
+	// keeps the cheap lazy-deletion path.
+	if e.canceled*2 > len(e.queue) {
+		e.compact()
+	}
+}
+
+// compact removes every canceled entry from the queue in one sweep and
+// re-heapifies. Surviving events keep their (at, seq) keys, and the pop
+// order depends only on that strict total order, so seeded histories of
+// the callbacks that actually run are unchanged. Compacted entries are
+// never popped, so — unlike lazily skipped ones — they do not count
+// toward Executed() and emit no EventFired trace record; compaction is
+// triggered by deterministic queue state, so equal seeds still produce
+// byte-identical traces.
+func (e *Engine) compact() {
+	q := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancel != nil && *ev.cancel {
+			continue
+		}
+		q = append(q, ev)
+	}
+	// Release dropped fn/cancel references for the GC.
+	for i := len(q); i < len(e.queue); i++ {
+		e.queue[i] = event{}
+	}
+	e.queue = q
+	e.canceled = 0
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
 	}
 }
 
@@ -214,8 +291,8 @@ func (e *Engine) After(delay Time, fn func()) *Timer {
 		delay = 0
 	}
 	canceled := new(bool)
-	e.schedule(e.now+delay, fn, canceled)
-	return &Timer{canceled: canceled}
+	e.schedule(e.now+delay, fn, canceled, "After")
+	return &Timer{eng: e, canceled: canceled}
 }
 
 // Every schedules fn at t = start, start+interval, ... until the
@@ -223,6 +300,9 @@ func (e *Engine) After(delay Time, fn func()) *Timer {
 func (e *Engine) Every(start, interval Time, fn func()) *Timer {
 	if interval <= 0 {
 		panic("sim: Every requires a positive interval")
+	}
+	if fn == nil {
+		panic("sim: Every with nil callback")
 	}
 	if start < 0 {
 		start = 0
@@ -234,11 +314,11 @@ func (e *Engine) Every(start, interval Time, fn func()) *Timer {
 		// Re-check after fn: canceling inside the callback must stop
 		// the rescheduling chain, not just mark the next entry dead.
 		if !*canceled {
-			e.schedule(e.now+interval, tick, canceled)
+			e.schedule(e.now+interval, tick, canceled, "Every")
 		}
 	}
-	e.schedule(e.now+start, tick, canceled)
-	return &Timer{canceled: canceled}
+	e.schedule(e.now+start, tick, canceled, "Every")
+	return &Timer{eng: e, canceled: canceled}
 }
 
 // Stop halts the run loop after the current event finishes.
@@ -263,12 +343,14 @@ func (e *Engine) Run(until Time) Time {
 				Node: -1, Peer: -1, ID: next.seq, Slot: -1, Hop: -1,
 			})
 		}
-		// A canceled timer is still popped, traced, and counted — the
-		// pre-lazy-deletion implementation ran a no-op closure here, and
-		// seeded histories must not notice the difference — but its
-		// callback is skipped.
+		// A canceled timer that escaped compaction is still popped,
+		// traced, and counted — the pre-lazy-deletion implementation ran
+		// a no-op closure here, and seeded histories must not notice the
+		// difference — but its callback is skipped.
 		if next.cancel == nil || !*next.cancel {
 			next.fn()
+		} else if e.canceled > 0 {
+			e.canceled--
 		}
 	}
 	if e.now < until && len(e.queue) == 0 {
@@ -292,6 +374,8 @@ func (e *Engine) RunAll() Time {
 		}
 		if next.cancel == nil || !*next.cancel {
 			next.fn()
+		} else if e.canceled > 0 {
+			e.canceled--
 		}
 	}
 	return e.now

@@ -217,6 +217,141 @@ func TestScheduleNilPanics(t *testing.T) {
 	NewEngine(1).Schedule(0, nil)
 }
 
+// TestNilCallbackPanicNamesEntryPoint checks that each public scheduling
+// entry point reports itself — not an internal helper — when handed a
+// nil callback.
+func TestNilCallbackPanicNamesEntryPoint(t *testing.T) {
+	cases := []struct {
+		want string
+		call func(e *Engine)
+	}{
+		{"sim: Schedule with nil callback", func(e *Engine) { e.Schedule(0, nil) }},
+		{"sim: ScheduleAt with nil callback", func(e *Engine) { e.ScheduleAt(0, nil) }},
+		{"sim: After with nil callback", func(e *Engine) { e.After(0, nil) }},
+		{"sim: Every with nil callback", func(e *Engine) { e.Every(0, Second, nil) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: no panic", tc.want)
+				}
+				if msg, ok := r.(string); !ok || msg != tc.want {
+					t.Fatalf("panic message = %v, want %q", r, tc.want)
+				}
+			}()
+			tc.call(NewEngine(1))
+		}()
+	}
+}
+
+// TestCancelCompaction checks heap hygiene: once canceled timers exceed
+// half the queue, they are swept out, so Pending() shrinks immediately
+// instead of waiting for every dead deadline to arrive.
+func TestCancelCompaction(t *testing.T) {
+	e := NewEngine(1)
+	const nTimers = 100
+	timers := make([]*Timer, nTimers)
+	for i := range timers {
+		timers[i] = e.After(Time(i+1)*Hour, func() { t.Fatal("canceled timer fired") })
+	}
+	e.Schedule(Second, func() {})
+	if got := e.Pending(); got != nTimers+1 {
+		t.Fatalf("Pending() = %d, want %d", got, nTimers+1)
+	}
+	for _, tm := range timers {
+		tm.Cancel()
+	}
+	// 100 canceled of 101 queued is far past the half-queue trigger.
+	// Compaction cascades as cancels keep arriving; at most one canceled
+	// entry (exactly half of a 2-element queue, below the strict
+	// trigger) may survive on the cheap lazy path.
+	if got := e.Pending(); got > 2 {
+		t.Fatalf("Pending() after mass cancel = %d, want <= 2 (compaction should have swept canceled entries)", got)
+	}
+	e.RunAll()
+	// The one survivor (if any) pops lazily and counts as executed,
+	// exactly like pre-compaction lazy deletion.
+	if e.Executed() > 2 {
+		t.Fatalf("Executed() = %d, want <= 2 (compacted entries never pop)", e.Executed())
+	}
+}
+
+// TestCompactionPreservesHistory checks that compaction is invisible to
+// the surviving callbacks: a run where many interleaved timers are
+// canceled (forcing compaction) executes the exact same callback
+// sequence, at the same times, as a run where those timers were never
+// scheduled at all.
+func TestCompactionPreservesHistory(t *testing.T) {
+	type firing struct {
+		label int
+		at    Time
+	}
+	run := func(withTimers bool) []firing {
+		e := NewEngine(7)
+		var got []firing
+		for i := 0; i < 50; i++ {
+			i := i
+			e.Schedule(Time(i)*100*Millisecond, func() { got = append(got, firing{i, e.Now()}) })
+		}
+		if withTimers {
+			timers := make([]*Timer, 200)
+			for j := range timers {
+				timers[j] = e.After(Time(j+1)*Minute, func() { t.Fatal("canceled timer fired") })
+			}
+			// Cancel from inside the run, mid-history, so compaction
+			// happens while survivors are still pending.
+			e.Schedule(250*Millisecond, func() {
+				for _, tm := range timers {
+					tm.Cancel()
+				}
+			})
+		}
+		e.Run(10 * Second)
+		if withTimers {
+			// Strip the cancel helper's own slot: it appends nothing,
+			// so got is already comparable.
+			_ = withTimers
+		}
+		return got
+	}
+	with, without := run(true), run(false)
+	if len(with) != len(without) {
+		t.Fatalf("callback counts differ: %d with canceled timers, %d without", len(with), len(without))
+	}
+	for i := range with {
+		if with[i] != without[i] {
+			t.Fatalf("histories diverge at %d: %+v vs %+v", i, with[i], without[i])
+		}
+	}
+}
+
+// TestCancelAfterFireSelfHeals checks the overcount path: canceling a
+// timer that already fired bumps the canceled counter with no matching
+// queue entry; a later compaction must recount from the queue and not
+// remove or miscount live events.
+func TestCancelAfterFireSelfHeals(t *testing.T) {
+	e := NewEngine(1)
+	fired := make([]*Timer, 64)
+	for i := range fired {
+		fired[i] = e.After(Time(i)*Millisecond, func() {})
+	}
+	e.Run(100 * Millisecond)
+	live := 0
+	e.Schedule(Hour, func() { live++ })
+	for _, tm := range fired {
+		tm.Cancel() // all already fired: pure overcount
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1 (live event must survive recount)", got)
+	}
+	e.RunAll()
+	if live != 1 {
+		t.Fatalf("live event ran %d times, want 1", live)
+	}
+}
+
 func TestExecutedCounter(t *testing.T) {
 	e := NewEngine(1)
 	for i := 0; i < 7; i++ {

@@ -1,0 +1,76 @@
+package shard
+
+// nodeEvent is one scheduled callback in a shard's queue. Unlike the
+// single-engine event, its ordering key (at, origin, oseq) is derived
+// from the *scheduling node*, not from a per-engine counter: origin is
+// the node that called Schedule and oseq is that node's monotonic
+// counter. Because a node always runs on exactly one shard for any
+// shard count K, the key assigned to an event is identical for every
+// K — which is what makes the merged execution history K-invariant.
+type nodeEvent struct {
+	at     Time
+	origin int32 // scheduling node
+	node   int32 // destination node (whose Proc the callback receives)
+	oseq   uint64
+	fn     func(*Proc)
+}
+
+func eventBefore(a, b *nodeEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	return a.oseq < b.oseq
+}
+
+// eventHeap is a value-based binary min-heap ordered by the strict
+// total order (at, origin, oseq) — the same hole-moving sift used by
+// the single-engine queue, so push/pop do one write per level and
+// never box events through an interface.
+type eventHeap []nodeEvent
+
+func (q *eventHeap) push(ev nodeEvent) {
+	h := append(*q, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventBefore(&ev, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	*q = h
+}
+
+func (q *eventHeap) pop() nodeEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nodeEvent{} // release the fn reference for the GC
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventBefore(&h[r], &h[c]) {
+			c = r
+		}
+		if !eventBefore(&h[c], &last) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	if n > 0 {
+		h[i] = last
+	}
+	return top
+}

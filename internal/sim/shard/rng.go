@@ -1,0 +1,37 @@
+package shard
+
+// sm64 is a splitmix64 random source. The default math/rand source
+// carries ~4.9 KB of state; at 100k–1M nodes one source per node would
+// dominate memory, so each node gets an 8-byte splitmix64 stream
+// instead. Streams are decorrelated by seeding each node's state
+// through the splitmix64 finalizer (see Cluster construction), so no
+// two nodes start at nearby points of the underlying +gamma sequence.
+type sm64 struct{ state uint64 }
+
+const sm64Gamma = 0x9E3779B97F4A7C15
+
+func (s *sm64) Uint64() uint64 {
+	s.state += sm64Gamma
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (s *sm64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *sm64) Seed(v int64) { s.state = mix64(uint64(v)) }
+
+// mix64 is the splitmix64 finalizer, used to scatter per-node seeds.
+func mix64(z uint64) uint64 {
+	z += sm64Gamma
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,607 @@
+// Package shard is the multi-core counterpart of the single-goroutine
+// sim engine: a conservatively synchronized parallel discrete-event
+// simulator. Nodes are partitioned across K shards; each shard owns a
+// value-based event heap, a virtual clock, and one splitmix64 RNG
+// stream per node. Shards advance in lock-step windows [T, T+L) where
+// the lookahead L is a lower bound on cross-shard one-way latency
+// (topology.Latency.MinOneWay / MinCrossOneWay), so no event executed
+// in a window can schedule work another shard would have had to run
+// inside the same window. Cross-shard events travel through per-pair
+// SPSC mailboxes that are written only during the execute phase and
+// drained only during the barrier-separated drain phase — no locks on
+// the event path.
+//
+// Determinism: every event carries the K-invariant key
+// (at, origin node, per-origin seq). Cross-node scheduling requires a
+// positive delay, so within one virtual timestamp only a node's own
+// zero-delay events can appear, and they carry that node's own
+// monotonically increasing seq — per-node execution order is therefore
+// independent of K. Trace records are buffered per shard, tagged with
+// the executing event's key, and merged at each window barrier in key
+// order; window time-ranges are disjoint and increasing, so the
+// concatenated trace is globally key-sorted and byte-identical for
+// every K, which the trace-hash oracle enforces.
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim"
+)
+
+// Time re-exports the simulator's virtual time so shard callers read
+// naturally alongside sim code.
+type Time = sim.Time
+
+// maxTime is the sentinel "no event pending" timestamp.
+const maxTime = Time(1<<63 - 1)
+
+// MaxNodes bounds the node count so the stable trace event id
+// oseq<<21 | origin never collides.
+const MaxNodes = 1 << 21
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the number of simulated nodes (1..MaxNodes).
+	Nodes int
+	// Shards is the number of parallel partitions K (1..Nodes). K=1
+	// runs the identical code path with a single giant window.
+	Shards int
+	// Seed derives every per-node RNG stream.
+	Seed int64
+	// Lookahead is the conservative window width: a positive lower
+	// bound on the delay of every cross-shard event. Required when
+	// Shards > 1; derive it from topology.Latency.MinOneWay or, when
+	// the assignment is known, the tighter MinCrossOneWay.
+	Lookahead Time
+	// Tracer, when non-nil, receives the canonical merged event
+	// stream. Tracing never consumes simulation randomness.
+	Tracer obs.Tracer
+}
+
+// BlockAssign returns the contiguous block shard assignment used by
+// the cluster: node i belongs to shard i*K/N. Contiguous blocks keep
+// each shard's hot per-node state (Proc structs, RNG states) in one
+// cache-friendly range of the flat arrays.
+func BlockAssign(nodes, shards int) []int32 {
+	assign := make([]int32, nodes)
+	for i := range assign {
+		assign[i] = int32(i * shards / nodes)
+	}
+	return assign
+}
+
+// Proc is a node's handle into the cluster: every callback receives
+// the Proc of the node it runs on, and all scheduling and randomness
+// flow through it. Procs are stored in one flat array indexed by node
+// id — the hot scheduling state (seq counter, RNG state pointer) of a
+// shard's nodes is contiguous in memory.
+type Proc struct {
+	c    *Cluster
+	s    *Shard
+	id   int32
+	seq  uint64 // per-origin-node event counter: the K-invariant tie-break
+	rng  *rand.Rand
+	data interface{} // per-node payload, owned by the node's shard
+}
+
+// ID returns the node id.
+func (p *Proc) ID() int { return int(p.id) }
+
+// Shard returns the index of the shard that owns this node — the slot
+// to use for per-shard accounting (stats, counters) that is summed
+// after the run.
+func (p *Proc) Shard() int { return int(p.s.id) }
+
+// Now returns the owning shard's virtual clock.
+func (p *Proc) Now() Time { return p.s.now }
+
+// RNG returns the node's private random stream. Draw order within a
+// node is K-invariant because the node's events run in K-invariant
+// order; never share a Proc's RNG across nodes.
+func (p *Proc) RNG() *rand.Rand { return p.rng }
+
+// Data returns the per-node payload set with SetData.
+func (p *Proc) Data() interface{} { return p.data }
+
+// SetData attaches an arbitrary per-node payload. Call it at setup
+// time or from the node's own callbacks; the payload is owned by the
+// node's shard and must not be shared mutably across nodes.
+func (p *Proc) SetData(v interface{}) { p.data = v }
+
+// Schedule runs fn on this node after delay (negative delays clamp to
+// zero). Same-node events may have zero delay; they run later in the
+// same timestamp because they carry a larger per-origin seq.
+func (p *Proc) Schedule(delay Time, fn func(*Proc)) {
+	p.scheduleOn(p.id, delay, fn, "Schedule")
+}
+
+// ScheduleNode runs fn on node dst after delay. Cross-node delays must
+// be positive, and when dst lives on another shard the delay must be
+// at least the cluster lookahead — the topology's minimum cross-shard
+// latency guarantees that for message delivery; both are checked.
+func (p *Proc) ScheduleNode(dst int, delay Time, fn func(*Proc)) {
+	if dst < 0 || dst >= p.c.nodes {
+		panic(fmt.Sprintf("shard: ScheduleNode to node %d of %d", dst, p.c.nodes))
+	}
+	p.scheduleOn(int32(dst), delay, fn, "ScheduleNode")
+}
+
+func (p *Proc) scheduleOn(dst int32, delay Time, fn func(*Proc), op string) {
+	if fn == nil {
+		panic("shard: " + op + " with nil callback")
+	}
+	c := p.c
+	if dst != p.id {
+		if delay <= 0 {
+			panic(fmt.Sprintf("shard: %s from node %d to %d needs a positive delay, got %v",
+				op, p.id, dst, delay))
+		}
+		if c.running && c.assign[dst] != p.s.id && delay < c.lookahead {
+			panic(fmt.Sprintf("shard: %s from node %d to %d with delay %v below lookahead %v",
+				op, p.id, dst, delay, c.lookahead))
+		}
+	} else if delay < 0 {
+		delay = 0
+	}
+	at := p.s.now + delay
+	p.seq++
+	ev := nodeEvent{at: at, origin: p.id, node: dst, oseq: p.seq, fn: fn}
+	if c.tracer != nil {
+		p.s.emit(obs.Event{
+			Type: obs.EventScheduled, At: int64(p.s.now),
+			Node: -1, Peer: -1, ID: eventID(p.id, p.seq), Seq: int64(at),
+			Slot: -1, Hop: -1,
+		})
+	}
+	if ds := c.assign[dst]; ds != p.s.id && c.running {
+		// Cross-shard: append to this shard's SPSC outbox for the
+		// destination. Only the producer touches it during the execute
+		// phase; the consumer drains it in the barrier-separated drain
+		// phase, so no lock is needed.
+		p.s.outbox[ds] = append(p.s.outbox[ds], ev)
+	} else {
+		// Same shard — or setup time, when everything is
+		// single-threaded and pushing into any heap is safe.
+		c.sh[ds].queue.push(ev)
+	}
+}
+
+// Emit forwards a trace event through the cluster's canonical merge,
+// tagged with the currently executing event's key so the merged stream
+// is identical for every shard count.
+func (p *Proc) Emit(ev obs.Event) { p.s.emit(ev) }
+
+// eventID is the stable trace identifier for a scheduled event:
+// oseq<<21 | origin. It is K-invariant (both components are) and
+// unique while origin < MaxNodes.
+func eventID(origin int32, oseq uint64) uint64 {
+	return oseq<<21 | uint64(origin)
+}
+
+// traceRec is a buffered trace event plus the merge key of the
+// execution context that emitted it.
+type traceRec struct {
+	at     Time
+	origin int32
+	sub    int32 // emission index within the executing event
+	oseq   uint64
+	ev     obs.Event
+}
+
+func recBefore(a, b *traceRec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.origin != b.origin {
+		return a.origin < b.origin
+	}
+	if a.oseq != b.oseq {
+		return a.oseq < b.oseq
+	}
+	return a.sub < b.sub
+}
+
+// Shard owns a contiguous block of nodes: their event heap, virtual
+// clock, and trace buffer. Exactly one goroutine runs a shard.
+type Shard struct {
+	c        *Cluster
+	id       int32
+	now      Time
+	queue    eventHeap
+	executed uint64
+	// outbox[d] holds events for shard d scheduled during the current
+	// execute phase. Producer-owned while executing, consumer-drained
+	// at the next barrier; backing arrays are recycled between windows.
+	outbox [][]nodeEvent
+	trace  []traceRec
+
+	// Key of the event currently executing, for trace tagging.
+	curAt     Time
+	curOrigin int32
+	curOseq   uint64
+	curSub    int32
+}
+
+func (s *Shard) emit(ev obs.Event) {
+	c := s.c
+	if c.tracer == nil {
+		return
+	}
+	if !c.running {
+		// Setup-time scheduling happens before workers exist and in
+		// deterministic program order: emit straight to the sink.
+		c.tracer.Emit(ev)
+		return
+	}
+	s.trace = append(s.trace, traceRec{
+		at: s.curAt, origin: s.curOrigin, oseq: s.curOseq, sub: s.curSub, ev: ev,
+	})
+	s.curSub++
+}
+
+// drain moves events out of every other shard's outbox for this shard
+// into the local heap, in canonical (source shard, append seq) order.
+// It runs strictly between barriers, when no shard is executing.
+func (s *Shard) drain() {
+	for _, src := range s.c.sh {
+		if src == s {
+			continue
+		}
+		box := src.outbox[s.id]
+		for i := range box {
+			s.queue.push(box[i])
+			box[i] = nodeEvent{} // release the fn reference
+		}
+		src.outbox[s.id] = box[:0] // recycle the backing array
+	}
+	if len(s.queue) > 0 {
+		s.c.minNext[s.id] = s.queue[0].at
+	} else {
+		s.c.minNext[s.id] = maxTime
+	}
+}
+
+// execute runs every local event with at < window-end (and at most the
+// run horizon). Events scheduled during the phase for this same shard
+// and window execute too — the heap orders them by the K-invariant key.
+func (s *Shard) execute() {
+	c := s.c
+	wend, until := c.wend, c.until
+	traced := c.tracer != nil
+	for len(s.queue) > 0 {
+		at := s.queue[0].at
+		if at >= wend || at > until {
+			break
+		}
+		ev := s.queue.pop()
+		s.now = ev.at
+		s.executed++
+		s.curAt, s.curOrigin, s.curOseq, s.curSub = ev.at, ev.origin, ev.oseq, 0
+		if traced {
+			s.emit(obs.Event{
+				Type: obs.EventFired, At: int64(ev.at),
+				Node: -1, Peer: -1, ID: eventID(ev.origin, ev.oseq),
+				Slot: -1, Hop: -1,
+			})
+		}
+		ev.fn(&c.procs[ev.node])
+	}
+	// An idle shard's clock is left where it is: scheduling only ever
+	// happens while executing an event (which sets the clock to the
+	// event's timestamp) or at setup time, so nothing reads a stale
+	// clock. Run advances every clock to the horizon on exit.
+}
+
+// barrier is a reusable cyclic barrier with a leader action: the last
+// goroutine to arrive runs fn (trace merge + window advance) while the
+// others are parked, then everyone is released. The mutex/cond pair
+// gives the happens-before edges that make the phase-separated
+// lock-free structures (outboxes, minNext, trace buffers) race-free.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	broken  bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await(leader func()) {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		if leader != nil {
+			leader()
+		}
+		b.arrived = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// abort breaks the barrier so a panicking worker cannot strand its
+// peers: current and future waiters return immediately and the
+// workers then observe the recorded failure and exit.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.arrived = 0
+	b.gen++
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Cluster is a sharded simulation: K shards over N nodes advancing in
+// conservative lock-step windows.
+type Cluster struct {
+	nodes     int
+	shards    int
+	lookahead Time
+	tracer    obs.Tracer
+	assign    []int32
+	seeds     []sm64 // flat per-node RNG state, 8 bytes each
+	procs     []Proc // flat per-node scheduling state, shard-contiguous
+	sh        []*Shard
+	bar       *barrier
+	minNext   []Time // per-shard earliest pending timestamp, set in drain
+	mergeIdx  []int
+	wend      Time // current window end (exclusive)
+	until     Time // run horizon (inclusive)
+	running   bool
+	done      bool
+	failure   interface{} // first worker panic, re-raised from Run
+}
+
+// New builds a cluster. Shards > 1 requires a positive Lookahead.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 || cfg.Nodes > MaxNodes {
+		return nil, fmt.Errorf("shard: need 1..%d nodes, got %d", MaxNodes, cfg.Nodes)
+	}
+	if cfg.Shards < 1 || cfg.Shards > cfg.Nodes {
+		return nil, fmt.Errorf("shard: need 1..%d shards for %d nodes, got %d",
+			cfg.Nodes, cfg.Nodes, cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.Lookahead <= 0 {
+		return nil, fmt.Errorf("shard: %d shards require a positive lookahead", cfg.Shards)
+	}
+	c := &Cluster{
+		nodes:     cfg.Nodes,
+		shards:    cfg.Shards,
+		lookahead: cfg.Lookahead,
+		tracer:    cfg.Tracer,
+		assign:    BlockAssign(cfg.Nodes, cfg.Shards),
+		seeds:     make([]sm64, cfg.Nodes),
+		procs:     make([]Proc, cfg.Nodes),
+		sh:        make([]*Shard, cfg.Shards),
+		bar:       newBarrier(cfg.Shards),
+		minNext:   make([]Time, cfg.Shards),
+		mergeIdx:  make([]int, cfg.Shards),
+	}
+	for k := range c.sh {
+		c.sh[k] = &Shard{c: c, id: int32(k), outbox: make([][]nodeEvent, cfg.Shards)}
+	}
+	base := mix64(uint64(cfg.Seed))
+	for i := 0; i < cfg.Nodes; i++ {
+		// Scatter each node's starting point through the finalizer so
+		// streams are not simple shifts of one another.
+		c.seeds[i] = sm64{state: mix64(base + uint64(i))}
+		c.procs[i] = Proc{
+			c:   c,
+			s:   c.sh[c.assign[i]],
+			id:  int32(i),
+			rng: rand.New(&c.seeds[i]),
+		}
+	}
+	return c, nil
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return c.nodes }
+
+// Shards returns the shard count K.
+func (c *Cluster) Shards() int { return c.shards }
+
+// Lookahead returns the conservative window width.
+func (c *Cluster) Lookahead() Time { return c.lookahead }
+
+// Assign returns the node→shard assignment. Callers must treat it as
+// read-only.
+func (c *Cluster) Assign() []int32 { return c.assign }
+
+// ShardOf returns the shard owning the node.
+func (c *Cluster) ShardOf(node int) int { return int(c.assign[node]) }
+
+// Proc returns the node's handle, for setup-time scheduling and state
+// attachment before Run.
+func (c *Cluster) Proc(node int) *Proc { return &c.procs[node] }
+
+// Executed returns the total number of events run across all shards.
+func (c *Cluster) Executed() uint64 {
+	var n uint64
+	for _, s := range c.sh {
+		n += s.executed
+	}
+	return n
+}
+
+// Pending returns the number of queued events across all shards,
+// including undrained mailboxes.
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, s := range c.sh {
+		n += len(s.queue)
+		for _, box := range s.outbox {
+			n += len(box)
+		}
+	}
+	return n
+}
+
+// Now returns the cluster clock: the minimum of the shard clocks.
+func (c *Cluster) Now() Time {
+	min := c.sh[0].now
+	for _, s := range c.sh[1:] {
+		if s.now < min {
+			min = s.now
+		}
+	}
+	return min
+}
+
+// advance is the leader action run inside the window barrier: merge
+// and flush the window's trace records in canonical key order, find
+// the globally earliest pending event, and open the next window.
+func (c *Cluster) advance() {
+	c.flushTrace()
+	min := maxTime
+	for _, t := range c.minNext {
+		if t < min {
+			min = t
+		}
+	}
+	if min == maxTime || min > c.until {
+		c.done = true
+		return
+	}
+	if c.shards == 1 {
+		// One shard needs no synchronization: a single unbounded
+		// window reproduces the sequential engine exactly.
+		c.wend = maxTime
+	} else if wend := min + c.lookahead; wend > min {
+		c.wend = wend
+	} else { // overflow
+		c.wend = maxTime
+	}
+}
+
+// flushTrace performs a K-way merge of the shards' window-local trace
+// buffers in (at, origin, oseq, sub) order and emits them to the sink.
+// Windows have disjoint, increasing time ranges, so emitting each
+// window in key order yields a globally key-sorted — and therefore
+// K-invariant — stream.
+func (c *Cluster) flushTrace() {
+	if c.tracer == nil {
+		return
+	}
+	idx := c.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		var best *traceRec
+		bi := -1
+		for k, s := range c.sh {
+			if idx[k] >= len(s.trace) {
+				continue
+			}
+			if r := &s.trace[idx[k]]; best == nil || recBefore(r, best) {
+				best, bi = r, k
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		c.tracer.Emit(best.ev)
+		idx[bi]++
+	}
+	for _, s := range c.sh {
+		s.trace = s.trace[:0]
+	}
+}
+
+// worker is one shard's loop: drain mailboxes, report the earliest
+// pending timestamp, synchronize (the last arriver merges traces and
+// opens the next window), execute the window, synchronize again so no
+// shard drains mailboxes another shard is still filling.
+func (c *Cluster) worker(s *Shard) {
+	for {
+		s.drain()
+		c.bar.await(c.advance)
+		if c.done || c.failure != nil {
+			return
+		}
+		s.execute()
+		c.bar.await(nil)
+		if c.failure != nil {
+			// A peer panicked mid-window. Returning before the next
+			// drain keeps phase separation intact: no shard reads an
+			// outbox a crashed peer may have been filling.
+			return
+		}
+	}
+}
+
+// runWorker is the goroutine wrapper for K > 1: it converts a worker
+// panic into a recorded failure plus a barrier break, so Run can
+// re-raise it on the caller's goroutine instead of the process dying
+// on an unjoinable worker (and peers deadlocking at the barrier).
+func (c *Cluster) runWorker(s *Shard, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			c.bar.mu.Lock()
+			if c.failure == nil {
+				c.failure = r
+			}
+			c.bar.mu.Unlock()
+			c.bar.abort()
+		}
+	}()
+	c.worker(s)
+}
+
+// Run executes events in lock-step windows until no event at or before
+// `until` remains. Events exactly at `until` run. It returns `until`;
+// shard clocks end at the horizon like the sequential engine's.
+// Run may be called repeatedly with increasing horizons.
+func (c *Cluster) Run(until Time) Time {
+	if c.running {
+		panic("shard: Run called reentrantly")
+	}
+	c.until = until
+	c.done = false
+	c.running = true
+	if c.shards == 1 {
+		// Single shard runs inline on the caller's goroutine; a panic
+		// propagates directly, exactly like the sequential engine.
+		c.worker(c.sh[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, s := range c.sh {
+			wg.Add(1)
+			go c.runWorker(s, &wg)
+		}
+		wg.Wait()
+		if r := c.failure; r != nil {
+			panic(r)
+		}
+	}
+	c.running = false
+	for _, s := range c.sh {
+		if s.now < until {
+			s.now = until
+		}
+	}
+	return until
+}

@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Nodes: 0, Shards: 1}); err == nil {
+		t.Fatal("accepted 0 nodes")
+	}
+	if _, err := New(Config{Nodes: 4, Shards: 5, Lookahead: sim.Millisecond}); err == nil {
+		t.Fatal("accepted more shards than nodes")
+	}
+	if _, err := New(Config{Nodes: 4, Shards: 2}); err == nil {
+		t.Fatal("accepted multiple shards without a lookahead")
+	}
+	if _, err := New(Config{Nodes: 4, Shards: 1}); err != nil {
+		t.Fatalf("rejected a valid single-shard config: %v", err)
+	}
+}
+
+func TestBlockAssignIsContiguousAndBalanced(t *testing.T) {
+	assign := BlockAssign(10, 4)
+	want := []int32{0, 0, 0, 1, 1, 2, 2, 2, 3, 3}
+	for i, s := range assign {
+		if s != want[i] {
+			t.Fatalf("assign = %v, want %v", assign, want)
+		}
+	}
+}
+
+func TestBasicSchedulingOrder(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Shards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	c.Proc(0).Schedule(3*sim.Millisecond, func(p *Proc) { order = append(order, "c") })
+	c.Proc(0).Schedule(sim.Millisecond, func(p *Proc) {
+		order = append(order, "a")
+		// Zero-delay self events run within the same timestamp, after
+		// anything already carrying a smaller key.
+		p.Schedule(0, func(q *Proc) { order = append(order, "a0") })
+	})
+	c.Proc(1).ScheduleNode(0, 2*sim.Millisecond, func(p *Proc) {
+		if p.ID() != 0 {
+			t.Errorf("callback ran on node %d, want 0", p.ID())
+		}
+		order = append(order, "b")
+	})
+	c.Run(sim.Second)
+	if got := strings.Join(order, ","); got != "a,a0,b,c" {
+		t.Fatalf("execution order %q, want a,a0,b,c", got)
+	}
+	if c.Executed() != 4 {
+		t.Fatalf("Executed() = %d, want 4", c.Executed())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", c.Pending())
+	}
+	if c.Now() != sim.Second {
+		t.Fatalf("Now() = %v, want %v", c.Now(), sim.Second)
+	}
+}
+
+func TestRunHorizonAndResume(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Shards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []Time
+	c.Proc(0).Schedule(sim.Millisecond, func(p *Proc) { fired = append(fired, p.Now()) })
+	c.Proc(0).Schedule(5*sim.Millisecond, func(p *Proc) { fired = append(fired, p.Now()) })
+	c.Proc(0).Schedule(10*sim.Millisecond, func(p *Proc) { fired = append(fired, p.Now()) })
+	c.Run(5 * sim.Millisecond) // events exactly at the horizon run
+	if len(fired) != 2 || c.Pending() != 1 {
+		t.Fatalf("after first Run: fired %v, pending %d", fired, c.Pending())
+	}
+	c.Run(sim.Second)
+	if len(fired) != 3 || fired[2] != 10*sim.Millisecond {
+		t.Fatalf("after second Run: fired %v", fired)
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Shards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		want string
+		call func()
+	}{
+		{"shard: Schedule with nil callback", func() { c.Proc(0).Schedule(0, nil) }},
+		{"shard: ScheduleNode with nil callback", func() { c.Proc(0).ScheduleNode(1, sim.Millisecond, nil) }},
+	} {
+		func() {
+			defer func() {
+				if r := recover(); r != tc.want {
+					t.Errorf("panic = %v, want %q", r, tc.want)
+				}
+			}()
+			tc.call()
+		}()
+	}
+}
+
+func TestCrossNodeZeroDelayPanics(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Shards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-delay cross-node schedule did not panic")
+		}
+	}()
+	c.Proc(0).ScheduleNode(1, 0, func(p *Proc) {})
+}
+
+// TestLookaheadViolationPanicsFromRun checks both that a cross-shard
+// delay below the lookahead is caught, and that a worker-goroutine
+// panic is re-raised from Run on the caller's goroutine instead of
+// stranding the other shards at the barrier.
+func TestLookaheadViolationPanicsFromRun(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Shards: 2, Seed: 1, Lookahead: 2 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Proc(0).Schedule(sim.Millisecond, func(p *Proc) {
+		p.ScheduleNode(3, sim.Millisecond, func(q *Proc) {}) // below 2ms lookahead
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "below lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c.Run(sim.Second)
+}
+
+// storm runs a randomized message-relay workload — cross-node sends at
+// latencies above the lookahead, per-node RNG draws, zero-delay local
+// bookkeeping events — and returns the JSONL trace bytes plus the
+// executed-event count.
+func storm(t *testing.T, nodes, shards int, seed int64, hops int) ([]byte, uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewJSONL(&buf)
+	la := 2 * sim.Millisecond
+	c, err := New(Config{Nodes: nodes, Shards: shards, Seed: seed, Lookahead: la, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var relay func(p *Proc, hops int)
+	relay = func(p *Proc, hops int) {
+		p.Emit(obs.Event{
+			Type: obs.MsgDelivered, At: int64(p.Now()),
+			Node: p.ID(), Peer: -1, Seq: int64(hops), Slot: -1, Hop: hops,
+		})
+		if hops <= 0 {
+			return
+		}
+		if p.RNG().Intn(4) == 0 {
+			// Zero-delay self event: same timestamp, later key.
+			p.Schedule(0, func(q *Proc) {
+				q.Emit(obs.Event{
+					Type: obs.MsgSent, At: int64(q.Now()),
+					Node: q.ID(), Peer: -1, Seq: -1, Slot: -1, Hop: -1,
+				})
+			})
+		}
+		dst := p.RNG().Intn(nodes - 1)
+		if dst >= p.ID() {
+			dst++
+		}
+		delay := la + Time(p.RNG().Intn(6000))*sim.Microsecond
+		next := hops - 1
+		p.ScheduleNode(dst, delay, func(q *Proc) { relay(q, next) })
+	}
+	for i := 0; i < nodes; i++ {
+		c.Proc(i).Schedule(Time(i+1)*sim.Millisecond, func(p *Proc) { relay(p, hops) })
+	}
+	c.Run(2 * sim.Second)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), c.Executed()
+}
+
+// TestDeterminismAcrossShardCounts is the engine-level half of the
+// trace-hash oracle: the same seed must yield byte-identical traces
+// and equal executed-event totals for every shard count.
+func TestDeterminismAcrossShardCounts(t *testing.T) {
+	refTrace, refExec := storm(t, 64, 1, 42, 12)
+	if refExec == 0 || len(refTrace) == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+	for _, k := range []int{2, 4, 8} {
+		trace, exec := storm(t, 64, k, 42, 12)
+		if exec != refExec {
+			t.Errorf("K=%d executed %d events, K=1 executed %d", k, exec, refExec)
+		}
+		if !bytes.Equal(trace, refTrace) {
+			t.Errorf("K=%d trace differs from K=1 (lengths %d vs %d)",
+				k, len(trace), len(refTrace))
+		}
+	}
+}
+
+// TestDeterminismRepeatedRuns checks that the same configuration run
+// twice gives the same trace — i.e. nothing leaks wall-clock or map
+// iteration order into the history.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	a, _ := storm(t, 32, 4, 7, 8)
+	b, _ := storm(t, 32, 4, 7, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical configurations produced different traces")
+	}
+}
+
+func TestPerNodeRNGStreamsDiffer(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Shards: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Proc(0).RNG().Uint64()
+	b := c.Proc(1).RNG().Uint64()
+	if a == b {
+		t.Fatal("adjacent nodes drew identical first values")
+	}
+	// Same seed rebuilds the same streams.
+	c2, err := New(Config{Nodes: 4, Shards: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Proc(0).RNG().Uint64(); got != a {
+		t.Fatalf("stream not reproducible: %d vs %d", got, a)
+	}
+}
+
+func TestProcData(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Shards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type state struct{ hits int }
+	c.Proc(0).SetData(&state{})
+	c.Proc(0).Schedule(sim.Millisecond, func(p *Proc) {
+		p.Data().(*state).hits++
+	})
+	c.Run(sim.Second)
+	if got := c.Proc(0).Data().(*state).hits; got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}

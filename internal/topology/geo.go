@@ -1,0 +1,126 @@
+// Geo is the O(n)-memory counterpart of Matrix for very large
+// networks: instead of materializing n^2 pairwise RTTs (80 GB at 100k
+// nodes), it keeps one 2-D coordinate per node and derives each pair's
+// latency on demand from the embedding distance plus deterministic
+// per-pair jitter. The statistical character matches Matrix — geographic
+// structure with multiplicative noise, rescaled to a target mean RTT,
+// floored at MinRTT — but pairs are computed, not stored, so the sharded
+// engine can run 100k–1M node sweeps.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resilientmix/internal/sim"
+)
+
+// geoJitterSpread is the half-width of the multiplicative per-pair
+// jitter band [1-spread, 1+spread) applied on top of embedding
+// distance. It approximates the lognormal(0, 0.35) jitter Matrix uses
+// at a fraction of the per-pair cost (one hash, no exp).
+const geoJitterSpread = 0.35
+
+// Geo derives pairwise latencies from a random 2-D embedding. All
+// methods are safe for concurrent use (the struct is immutable after
+// construction), which the sharded engine relies on: every shard reads
+// latencies from its own goroutine.
+type Geo struct {
+	n     int
+	xs    []float64
+	ys    []float64
+	scale float64 // distance*jitter -> RTT microseconds
+	floor sim.Time
+}
+
+// NewGeo builds an n-node coordinate topology with the given seed,
+// rescaled so the mean RTT over random pairs matches meanRTT. Memory is
+// O(n); every pairwise latency is computed on demand.
+func NewGeo(n int, meanRTT sim.Time, seed int64) (*Geo, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", n)
+	}
+	if meanRTT <= 0 {
+		return nil, fmt.Errorf("topology: mean RTT must be positive, got %v", meanRTT)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := &Geo{n: n, xs: make([]float64, n), ys: make([]float64, n), floor: MinRTT}
+	for i := 0; i < n; i++ {
+		g.xs[i] = rng.Float64()
+		g.ys[i] = rng.Float64()
+	}
+	// Calibrate the distance->RTT scale on a deterministic sample of
+	// pairs rather than all n^2 (the whole point is not to do n^2 work).
+	const samples = 1 << 14
+	var sum float64
+	var count int
+	for s := 0; s < samples; s++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		sum += g.raw(i, j)
+		count++
+	}
+	g.scale = float64(meanRTT) / (sum / float64(count))
+	return g, nil
+}
+
+// raw returns distance * jitter for a pair, before scaling.
+func (g *Geo) raw(i, j int) float64 {
+	dx, dy := g.xs[i]-g.xs[j], g.ys[i]-g.ys[j]
+	dist := math.Sqrt(dx*dx + dy*dy)
+	return dist * pairJitter(i, j)
+}
+
+// pairJitter returns a deterministic, symmetric multiplicative jitter
+// in [1-geoJitterSpread, 1+geoJitterSpread) for the pair, derived by
+// hashing the unordered pair id. It replaces Matrix's stored lognormal
+// draw so equal pairs always see equal latency without any storage.
+func pairJitter(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	h := mix64(uint64(i)<<32 | uint64(j))
+	u := float64(h>>11) / float64(1<<53) // [0, 1)
+	return 1 - geoJitterSpread + 2*geoJitterSpread*u
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// hash used for per-pair jitter.
+func mix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// N returns the number of nodes.
+func (g *Geo) N() int { return g.n }
+
+// RTT returns the round-trip time between nodes i and j, floored at
+// MinRTT for distinct pairs; the zero diagonal means a node reaches
+// itself instantly.
+func (g *Geo) RTT(i, j int) sim.Time {
+	if i == j {
+		return 0
+	}
+	v := sim.Time(g.raw(i, j) * g.scale)
+	if v < g.floor {
+		v = g.floor
+	}
+	return v
+}
+
+// OneWay returns the one-way latency between i and j (half the RTT).
+func (g *Geo) OneWay(i, j int) sim.Time { return g.RTT(i, j) / 2 }
+
+// MinOneWay returns the floor's one-way latency. It is a conservative
+// lower bound: no pair is ever below MinRTT by construction, and at
+// large n some pair is essentially certain to sit on the floor, so the
+// bound is also tight without an O(n^2) scan.
+func (g *Geo) MinOneWay() sim.Time { return g.floor / 2 }

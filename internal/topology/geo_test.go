@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"resilientmix/internal/sim"
+)
+
+func TestGeoBasicProperties(t *testing.T) {
+	g, err := NewGeo(512, DefaultMeanRTT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 512 {
+		t.Fatalf("N() = %d", g.N())
+	}
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			rtt := g.RTT(i, j)
+			switch {
+			case i == j && rtt != 0:
+				t.Fatalf("RTT(%d,%d) = %v, want 0 on the diagonal", i, j, rtt)
+			case i != j && rtt < MinRTT:
+				t.Fatalf("RTT(%d,%d) = %v below floor %v", i, j, rtt, MinRTT)
+			}
+			if rtt != g.RTT(j, i) {
+				t.Fatalf("RTT not symmetric at (%d,%d)", i, j)
+			}
+			if g.OneWay(i, j) != rtt/2 {
+				t.Fatalf("OneWay(%d,%d) != RTT/2", i, j)
+			}
+		}
+	}
+	if got := g.MinOneWay(); got != MinRTT/2 {
+		t.Fatalf("MinOneWay() = %v, want %v", got, MinRTT/2)
+	}
+}
+
+func TestGeoDeterministicAcrossInstances(t *testing.T) {
+	a, err := NewGeo(256, DefaultMeanRTT, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGeo(256, DefaultMeanRTT, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i += 7 {
+		for j := 0; j < 256; j += 11 {
+			if a.RTT(i, j) != b.RTT(i, j) {
+				t.Fatalf("same seed, different RTT at (%d,%d)", i, j)
+			}
+		}
+	}
+	c, err := NewGeo(256, DefaultMeanRTT, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 256 && same; i++ {
+		if a.RTT(i, (i+1)%256) != c.RTT(i, (i+1)%256) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical latencies")
+	}
+}
+
+func TestGeoMeanNearTarget(t *testing.T) {
+	g, err := NewGeo(1024, DefaultMeanRTT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < 1024; i += 3 {
+		for j := i + 1; j < 1024; j += 5 {
+			sum += float64(g.RTT(i, j))
+			pairs++
+		}
+	}
+	mean := sum / float64(pairs)
+	if ratio := mean / float64(DefaultMeanRTT); math.Abs(ratio-1) > 0.10 {
+		t.Fatalf("mean RTT %.1fms is %.0f%% off the %v target", mean/1000, (ratio-1)*100, DefaultMeanRTT)
+	}
+}
+
+func TestMatrixMinOneWay(t *testing.T) {
+	m, err := Uniform(8, 10*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MinOneWay(); got != 5*sim.Millisecond {
+		t.Fatalf("MinOneWay() = %v, want 5ms", got)
+	}
+	g, err := Generate(64, DefaultMeanRTT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := g.MinOneWay()
+	if min <= 0 {
+		t.Fatalf("MinOneWay() = %v, want positive", min)
+	}
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if i != j && g.OneWay(i, j) < min {
+				t.Fatalf("OneWay(%d,%d) = %v below reported minimum %v", i, j, g.OneWay(i, j), min)
+			}
+		}
+	}
+}
+
+func TestMatrixMinCrossOneWay(t *testing.T) {
+	m, err := Generate(64, DefaultMeanRTT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := make([]int32, 64)
+	for i := range assign {
+		assign[i] = int32(i * 4 / 64) // 4 contiguous blocks
+	}
+	cross, ok := m.MinCrossOneWay(assign)
+	if !ok {
+		t.Fatal("no cross pair found in a 4-shard assignment")
+	}
+	if global := m.MinOneWay(); cross < global {
+		t.Fatalf("cross minimum %v below global minimum %v", cross, global)
+	}
+	// Verify against a brute-force scan.
+	want := sim.Time(0)
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j++ {
+			if assign[i] == assign[j] {
+				continue
+			}
+			if v := m.OneWay(i, j); want == 0 || v < want {
+				want = v
+			}
+		}
+	}
+	if cross != want {
+		t.Fatalf("MinCrossOneWay = %v, brute force says %v", cross, want)
+	}
+	// Single shard: no cross pair.
+	if _, ok := m.MinCrossOneWay(make([]int32, 64)); ok {
+		t.Fatal("single-shard assignment reported a cross pair")
+	}
+}

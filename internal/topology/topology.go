@@ -23,6 +23,47 @@ const DefaultMeanRTT = 152 * sim.Millisecond
 // unrealistically close.
 const MinRTT = 2 * sim.Millisecond
 
+// Latency is the view of a topology the simulators need: a one-way
+// latency for every ordered pair of distinct nodes, plus the global
+// minimum the sharded engine's conservative lookahead is derived from.
+// Matrix (dense, exact, O(n^2) memory) and Geo (coordinate-based,
+// O(n) memory, for 100k+ node sweeps) both implement it.
+type Latency interface {
+	N() int
+	OneWay(i, j int) sim.Time
+	// MinOneWay returns a positive lower bound on OneWay over all
+	// distinct pairs. It may be conservative (smaller than the true
+	// minimum); the sharded engine only needs "no cross-node event
+	// arrives sooner than this".
+	MinOneWay() sim.Time
+}
+
+// CrossLatency is an optional refinement of Latency: the minimum
+// one-way latency restricted to pairs whose shard assignments differ.
+// When the topology can afford the scan, this bound is tighter than
+// MinOneWay, which widens the sharded engine's synchronization windows.
+type CrossLatency interface {
+	// MinCrossOneWay returns the minimum OneWay over pairs (i, j) with
+	// assign[i] != assign[j], and false when no such pair exists (all
+	// nodes on one shard).
+	MinCrossOneWay(assign []int32) (sim.Time, bool)
+}
+
+// LookaheadFor returns the conservative lookahead bound for a sharded
+// run over lat with the given node→shard assignment: the minimum
+// cross-shard one-way latency when the topology can compute it, the
+// global minimum otherwise. The result is the widest window width that
+// still guarantees no cross-shard event lands inside the window that
+// scheduled it.
+func LookaheadFor(lat Latency, assign []int32) sim.Time {
+	if cl, ok := lat.(CrossLatency); ok {
+		if v, found := cl.MinCrossOneWay(assign); found {
+			return v
+		}
+	}
+	return lat.MinOneWay()
+}
+
 // Matrix holds symmetric pairwise RTTs for n nodes. The zero diagonal
 // means a node reaches itself instantly.
 type Matrix struct {
@@ -108,6 +149,44 @@ func (m *Matrix) RTT(i, j int) sim.Time { return m.rtt[i*m.n+j] }
 
 // OneWay returns the one-way latency between i and j (half the RTT).
 func (m *Matrix) OneWay(i, j int) sim.Time { return m.rtt[i*m.n+j] / 2 }
+
+// MinOneWay returns the exact minimum one-way latency over all
+// distinct pairs — the conservative lookahead bound for the sharded
+// engine when no shard assignment is known.
+func (m *Matrix) MinOneWay() sim.Time {
+	min := sim.Time(0)
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if v := m.rtt[i*m.n+j]; min == 0 || v < min {
+				min = v
+			}
+		}
+	}
+	return min / 2
+}
+
+// MinCrossOneWay returns the minimum one-way latency over pairs whose
+// shard assignments differ. A tighter bound than MinOneWay when the
+// closest pairs happen to share a shard, which directly widens the
+// sharded engine's lock-step windows.
+func (m *Matrix) MinCrossOneWay(assign []int32) (sim.Time, bool) {
+	if len(assign) != m.n {
+		panic(fmt.Sprintf("topology: assignment for %d nodes, matrix has %d", len(assign), m.n))
+	}
+	min := sim.Time(0)
+	found := false
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			if assign[i] == assign[j] {
+				continue
+			}
+			if v := m.rtt[i*m.n+j]; !found || v < min {
+				min, found = v, true
+			}
+		}
+	}
+	return min / 2, found
+}
 
 // MeanRTT returns the mean over all distinct pairs.
 func (m *Matrix) MeanRTT() sim.Time {

@@ -312,7 +312,7 @@ var ReadRunReport = obs.ReadReport
 var StartProfiles = prof.StartProfiles
 
 // PerfReport is the machine-readable micro-benchmark summary written
-// by anonbench -bench-json. BENCH_PR4.json at the repository root is
+// by anonbench -bench-json. BENCH_PR9.json at the repository root is
 // the committed baseline CI gates against.
 type PerfReport = perfbench.Report
 
@@ -321,7 +321,9 @@ type PerfReport = perfbench.Report
 type PerfRegression = perfbench.Regression
 
 // RunPerfBench executes the headline micro-benchmarks (erasure
-// encode/decode throughput, engine event rate, allocation counts).
+// encode/decode throughput, engine event rate, allocation counts, and
+// the sharded engine's K = 1..maxShards scaling curve; maxShards 0
+// means the full curve up to K=8).
 var RunPerfBench = perfbench.Run
 
 // ReadPerfReport loads a benchmark report or baseline from disk.
@@ -330,6 +332,11 @@ var ReadPerfReport = perfbench.ReadFile
 // ComparePerfReports gates a fresh report against a baseline at the
 // given relative tolerance; a non-empty result is a CI failure.
 var ComparePerfReports = perfbench.Compare
+
+// PerfScalingGate enforces the absolute multi-core requirement on a
+// fresh report: at least a 3x K=8-over-K=1 sharded-engine speedup on
+// hosts with 8+ CPUs. Hosts with fewer CPUs record but are not gated.
+var PerfScalingGate = perfbench.ScalingGate
 
 // ExperimentOptions tunes reproduction scale (Quick shrinks everything).
 type ExperimentOptions = experiments.Options

@@ -1,0 +1,69 @@
+// Property test for the sharded engine's central promise: the shard
+// count K is a pure execution detail. One seeded 256-node churn-plus-
+// traffic scenario is run at K = 1, 2, 4, 8; every K must produce a
+// byte-identical JSONL trace (compared by hash, like the sequential
+// trace oracle) and the same executed-event and delivery totals.
+package resilientmix_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"resilientmix/internal/churn"
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
+	"resilientmix/internal/shardworld"
+	"resilientmix/internal/sim"
+)
+
+// shardedScenario runs the canonical shard-oracle workload — 256
+// Pareto-churned nodes (two pinned), 1% link loss, every node
+// messaging a random peer every ~10 s — for one simulated hour at the
+// given shard count, and returns the trace hash plus the counters that
+// must be K-invariant.
+func shardedScenario(t testing.TB, k int) (trace [32]byte, executed uint64, st netsim.Stats, transitions uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewJSONL(&buf)
+	w, err := shardworld.New(shardworld.Config{
+		Nodes:    256,
+		Shards:   k,
+		Seed:     1234,
+		LossRate: 0.01,
+		Lifetime: churn.DefaultLifetime(),
+		Pinned:   []netsim.NodeID{0, 1},
+		Tracer:   tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(sim.Hour)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(buf.Bytes()), w.Cluster.Executed(), w.Net.Stats(), w.Churn.Transitions()
+}
+
+func TestShardCountInvariance(t *testing.T) {
+	refTrace, refExec, refStats, refTrans := shardedScenario(t, 1)
+	if refExec == 0 || refStats.Delivered == 0 || refTrans == 0 {
+		t.Fatalf("reference run too quiet: executed=%d delivered=%d transitions=%d",
+			refExec, refStats.Delivered, refTrans)
+	}
+	for _, k := range []int{2, 4, 8} {
+		trace, exec, st, trans := shardedScenario(t, k)
+		if trace != refTrace {
+			t.Errorf("K=%d trace hash %x differs from K=1 hash %x", k, trace, refTrace)
+		}
+		if exec != refExec {
+			t.Errorf("K=%d executed %d events, K=1 executed %d", k, exec, refExec)
+		}
+		if st != refStats {
+			t.Errorf("K=%d network stats %+v differ from K=1 %+v", k, st, refStats)
+		}
+		if trans != refTrans {
+			t.Errorf("K=%d saw %d churn transitions, K=1 saw %d", k, trans, refTrans)
+		}
+	}
+}
