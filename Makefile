@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check bench-shards repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke profile-smoke lint-http clean
+.PHONY: all build test race bench bench-json bench-check bench-shards repro repro-quick fuzz cover examples profile trace analyze cluster-smoke watch-smoke profile-smoke chaos-smoke lint-http clean
 
 all: build test
 
@@ -107,6 +107,19 @@ profile-smoke:
 	$(GO) build -o bin/anonnode ./cmd/anonnode
 	$(GO) run ./cmd/anonctl profile -spawn -n 5 -bin bin/anonnode \
 		-seconds 4 -msgs 6 -require onioncrypt
+
+# Chaos smoke: spawn a 9-node anonnode fleet, play the committed fault
+# schedule (one relay crash + one intra-path partition, both
+# auto-reverting) against it while a repair-enabled erasure-coded
+# session paces real traffic across the fault window, and gate on
+# survival: zero message loss, every condemned path repaired, full
+# path width restored. The fault-injection layer itself runs under the
+# race detector first.
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/faultinject/
+	$(GO) build -o bin/anonnode ./cmd/anonnode
+	$(GO) run ./cmd/anonctl chaos -spawn 9 -bin bin/anonnode \
+		-schedule ci/chaos-schedule.jsonl -msgs 10 -verify
 
 # Repo-local HTTP hygiene lint: no bare http.ListenAndServe, every
 # http.Server literal sets ReadHeaderTimeout, and net/http/pprof stays

@@ -22,6 +22,10 @@
 //	anonctl profile -spawn -n 5 -bin ./anonnode    harvest /debug/pprof CPU+heap from every
 //	               [-seconds 5] [-baseline b.json] node, merge, attribute per subsystem,
 //	               [-require onioncrypt] [-json]   gate against a committed baseline
+//	anonctl chaos  -spawn 9 -bin ./anonnode        spawn a fleet, play a fault schedule
+//	               [-schedule f.jsonl | -seed 1]   (crash/partition/latency/drop) against
+//	               [-msgs 12] [-verify] [-json]    it while driving repair-enabled traffic;
+//	                                               -verify gates on zero loss + full repair
 package main
 
 import (
@@ -58,13 +62,15 @@ func main() {
 		cmdReplay(os.Args[2:])
 	case "profile":
 		cmdProfile(os.Args[2:])
+	case "chaos":
+		cmdChaos(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke|record|watch|replay|profile> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: anonctl <up|status|traffic|smoke|record|watch|replay|profile|chaos> [flags]")
 	os.Exit(2)
 }
 

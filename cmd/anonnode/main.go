@@ -24,9 +24,11 @@
 // /metrics (Prometheus 0.0.4, including runtime.* process telemetry),
 // /healthz and /readyz probes, /health (JSON report), /debug/vars
 // (expvar-style JSON counters), /debug/trace?dur=5s (live NDJSON
-// trace stream consumable by anontrace) and /debug/pprof/* (CPU,
+// trace stream consumable by anontrace), /debug/pprof/* (CPU,
 // heap, goroutine, mutex, block and allocs profiles — harvestable
-// cluster-wide by `anonctl profile`). -collector switches the responder role to the
+// cluster-wide by `anonctl profile`) and /debug/fault (the chaos
+// controller: per-peer blackholing, injected latency and drop,
+// driven by `anonctl chaos`). -collector switches the responder role to the
 // erasure-coded session reassembler; -trace FILE appends the node's
 // trace events to a JSONL file; -tsdb FILE self-samples the node's
 // registry into an embedded time-series file (consumable by `anonctl
@@ -173,6 +175,7 @@ func main() {
 		mux.Handle("/debug/vars", node.DebugHandler())
 		mux.Handle("/debug/trace", node.TraceHandler())
 		mux.Handle("/debug/pprof/", livenet.PprofHandler())
+		mux.Handle("/debug/fault", node.FaultHandler())
 		mux.Handle("/metrics", node.MetricsHandler())
 		mux.Handle("/healthz", node.HealthzHandler())
 		mux.Handle("/readyz", node.ReadyzHandler())

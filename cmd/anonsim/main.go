@@ -12,12 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	rm "resilientmix"
 
+	"resilientmix/internal/faultinject"
 	"resilientmix/internal/netsim"
 	"resilientmix/internal/shardworld"
 )
@@ -40,6 +42,8 @@ func main() {
 		loss     = flag.Float64("loss", 0, "random per-message link loss probability [0,1]")
 		predict  = flag.Bool("predict", false, "enable proactive path replacement (§4.5 prediction)")
 		repair   = flag.Bool("repair", false, "enable §4.5 self-repair (probes + path reconstruction)")
+		faultsP  = flag.String("faults", "", "JSONL fault schedule (see internal/faultinject) replayed against the simulated network; times are relative to session establishment")
+		faultsO  = flag.String("faults-out", "", "write the applied-fault trace (JSONL) to this file")
 		traceP   = flag.String("trace", "", "write a JSONL event trace to this file (gzip when it ends in .gz)")
 		reportP  = flag.String("report", "", "write a JSON run report to this file")
 		analyzeF = flag.Bool("analyze", false, "run offline trace analytics (causal reconstruction, latency attribution, anonymity) and embed the summary in the report")
@@ -250,6 +254,37 @@ func main() {
 		sess.EnableRepair(30 * rm.Second)
 		fmt.Println("self-repair enabled (30s probes, automatic path reconstruction)")
 	}
+	var faultRec *faultinject.Recorder
+	if *faultsP != "" {
+		sched, err := faultinject.LoadSchedule(*faultsP, *n)
+		if err != nil {
+			fatal(err)
+		}
+		// Schedule times are relative: shift them past warm-up and
+		// establishment so the faults land during the message loop.
+		offset := int64(net.Eng.Now() / rm.Millisecond)
+		shifted := make(faultinject.Schedule, len(sched))
+		for i, e := range sched {
+			e.AtMS += offset
+			shifted[i] = e
+		}
+		var fw io.Writer
+		if *faultsO != "" {
+			f, err := os.Create(*faultsO)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			fw = f
+		}
+		faultRec = faultinject.NewRecorder(fw)
+		applied, err := faultinject.ApplySim(net.Eng, net.Net, shifted, faultRec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fault schedule: %d events (%d applications with reverts) from %s\n",
+			len(sched), applied, *faultsP)
+	}
 
 	// Message loop until the set dies or the cap elapses.
 	start := sess.EstablishedAt()
@@ -320,6 +355,10 @@ func main() {
 			sum += l
 		}
 		outcome["mean_latency_ms"] = sum / float64(len(latencies))
+	}
+	if faultRec != nil {
+		outcome["faults_applied"] = float64(faultRec.Count())
+		fmt.Printf("  faults applied   %d (trace sha256 %.16s…)\n", faultRec.Count(), faultRec.Sum())
 	}
 	finishObs(outcome)
 }

@@ -17,6 +17,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"time"
 
 	"resilientmix/internal/onioncrypt"
@@ -195,17 +196,22 @@ func joinArgs(args []string) string {
 	return out
 }
 
-// Runner supervises a spawned cluster.
+// Runner supervises a spawned cluster. Kill and Restart are the chaos
+// backend's crash/restart primitives; all methods are safe for
+// concurrent use.
 type Runner struct {
 	Manifest Manifest
-	procs    []*exec.Cmd
-	logs     []*os.File
+	bin      string
+
+	mu    sync.Mutex
+	procs []*exec.Cmd
+	logs  []*os.File
 }
 
 // Start spawns one anonnode process (the binary at bin) per manifest
 // node, with stdout/stderr teed to node<i>.log in the cluster dir.
 func (m Manifest) Start(bin string) (*Runner, error) {
-	r := &Runner{Manifest: m}
+	r := &Runner{Manifest: m, bin: bin}
 	for _, n := range m.Nodes {
 		logf, err := os.Create(filepath.Join(m.Dir, fmt.Sprintf("node%d.log", n.ID)))
 		if err != nil {
@@ -226,17 +232,74 @@ func (m Manifest) Start(bin string) (*Runner, error) {
 	return r, nil
 }
 
+// indexOf maps a roster id to its manifest slot, or -1.
+func (r *Runner) indexOf(id int) int {
+	for i, n := range r.Manifest.Nodes {
+		if n.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Kill delivers an immediate, uncatchable kill to node id's process —
+// the chaos schedule's crash primitive. The log file stays open so
+// Restart appends to the same history.
+func (r *Runner) Kill(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.indexOf(id)
+	if i < 0 || i >= len(r.procs) {
+		return fmt.Errorf("cluster: unknown node %d", id)
+	}
+	p := r.procs[i]
+	if p == nil || p.Process == nil {
+		return fmt.Errorf("cluster: node %d not running", id)
+	}
+	if err := p.Process.Kill(); err != nil {
+		return fmt.Errorf("cluster: killing node %d: %w", id, err)
+	}
+	p.Wait()
+	r.procs[i] = nil
+	return nil
+}
+
+// Restart re-spawns a previously killed node with its original
+// arguments, appending to its log file.
+func (r *Runner) Restart(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.indexOf(id)
+	if i < 0 || i >= len(r.procs) {
+		return fmt.Errorf("cluster: unknown node %d", id)
+	}
+	if r.procs[i] != nil {
+		return fmt.Errorf("cluster: node %d already running", id)
+	}
+	n := r.Manifest.Nodes[i]
+	cmd := exec.Command(r.bin, nodeArgs(r.Manifest, n)...)
+	cmd.Stdout = r.logs[i]
+	cmd.Stderr = r.logs[i]
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cluster: restarting node %d: %w", id, err)
+	}
+	r.procs[i] = cmd
+	return nil
+}
+
 // Stop interrupts every process, waits up to a grace period, then
 // kills stragglers. Safe to call more than once.
 func (r *Runner) Stop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, p := range r.procs {
-		if p.Process != nil {
+		if p != nil && p.Process != nil {
 			p.Process.Signal(os.Interrupt)
 		}
 	}
 	deadline := time.Now().Add(3 * time.Second)
 	for _, p := range r.procs {
-		if p.Process == nil {
+		if p == nil || p.Process == nil {
 			continue
 		}
 		done := make(chan struct{})

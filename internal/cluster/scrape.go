@@ -1,15 +1,16 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"sort"
 	"time"
 
 	"resilientmix/internal/obs"
+	"resilientmix/internal/retrypolicy"
 )
 
 // scrapeClient bounds every scrape request; trace captures build their
@@ -37,51 +38,46 @@ var (
 	ScrapeJitter = 0.5
 )
 
+// scrapePolicy assembles the package's retry policy from the tunable
+// vars above; it is re-read per fetch so tests (and operators) can
+// adjust the knobs at runtime.
+func scrapePolicy() retrypolicy.Policy {
+	return retrypolicy.Policy{
+		Attempts:   ScrapeAttempts,
+		Backoff:    ScrapeBackoff,
+		BackoffCap: ScrapeBackoffCap,
+		Jitter:     ScrapeJitter,
+	}
+}
+
 // jitterBackoff spreads one backoff delay by ScrapeJitter.
 func jitterBackoff(d time.Duration) time.Duration {
-	j := ScrapeJitter
-	if j <= 0 || d <= 0 {
-		return d
-	}
-	if j > 1 {
-		j = 1
-	}
-	lo := float64(d) * (1 - j)
-	return time.Duration(lo + rand.Float64()*(2*j*float64(d)))
+	p := retrypolicy.Policy{Backoff: d, Jitter: ScrapeJitter}
+	return p.Delay(1)
 }
 
 // getRetry fetches url, retrying transport errors (and, when retry5xx
-// is set, 5xx statuses) with capped exponential backoff. On success
-// the caller owns the response body.
+// is set, 5xx statuses) via the shared retry policy. On success the
+// caller owns the response body.
 func getRetry(client *http.Client, url string, retry5xx bool) (*http.Response, error) {
-	attempts := ScrapeAttempts
-	if attempts < 1 {
-		attempts = 1
-	}
-	backoff := ScrapeBackoff
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			time.Sleep(jitterBackoff(backoff))
-			backoff *= 2
-			if backoff > ScrapeBackoffCap {
-				backoff = ScrapeBackoffCap
-			}
-		}
-		resp, err := client.Get(url)
+	var resp *http.Response
+	err := scrapePolicy().Do(context.Background(), func(context.Context) error {
+		r, err := client.Get(url)
 		if err != nil {
-			lastErr = err
-			continue
+			return err
 		}
-		if retry5xx && resp.StatusCode >= 500 {
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-			resp.Body.Close()
-			lastErr = fmt.Errorf("status %d from %s", resp.StatusCode, url)
-			continue
+		if retry5xx && r.StatusCode >= 500 {
+			io.Copy(io.Discard, io.LimitReader(r.Body, 4096))
+			r.Body.Close()
+			return fmt.Errorf("status %d from %s", r.StatusCode, url)
 		}
-		return resp, nil
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, lastErr
+	return resp, nil
 }
 
 // probeReady asks one node's /readyz and returns its failure, if any.

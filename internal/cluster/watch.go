@@ -252,6 +252,12 @@ func RenderWatch(w io.Writer, db *tsdb.DB, opts WatchOptions) {
 		clusterLatest(db, "recv_delivered"),
 		clusterLatest(db, "live_paths_built"),
 		clusterLatest(db, "session_paths_dead"))
+	fmt.Fprintf(w, "         repaired %.0f  repair_failed %.0f  retransmits %.0f  degraded %.0f  cover_shed %.0f\n",
+		clusterLatest(db, "live_repair_repaired"),
+		clusterLatest(db, "live_repair_failed"),
+		clusterLatest(db, "session_retransmits"),
+		clusterLatest(db, "live_degraded"),
+		clusterLatest(db, "live_cover_shed"))
 
 	anns := db.Annotations()
 	if len(anns) == 0 {

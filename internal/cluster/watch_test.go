@@ -15,11 +15,12 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
 
 // buildRecordedRun synthesizes the store a recorder would produce
-// from a 3-node cluster run with four injected episodes — node 2
+// from a 3-node cluster run with six injected episodes — node 2
 // silent from t=10s, a repair spike (20 path deaths at t=20s), a
-// goroutine leak on node 1 ramping from t=11s, and one 300ms GC pause
-// on node 0 at t=25s — evaluating the default rules each tick exactly
-// as the recorder does.
+// repair storm (rebuilds climbing 3/s from t=20s), node 0 degraded
+// from t=21s through t=27s, a goroutine leak on node 1 ramping from
+// t=11s, and one 300ms GC pause on node 0 at t=25s — evaluating the
+// default rules each tick exactly as the recorder does.
 func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
 	db := tsdb.New(128)
 	eng := rules.NewEngine(rules.Defaults()...)
@@ -62,6 +63,19 @@ func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
 			dead = 20
 		}
 		db.Append("session_paths_dead", l0, at, dead)
+		// Repair storm: rebuilds climb 3/s from t=20 — past the 1/s
+		// default once the window fills.
+		repaired := 0.0
+		if i > 20 {
+			repaired = float64((i - 20) * 3)
+		}
+		db.Append("live_repair_repaired", l0, at, repaired)
+		// Node 0 runs below full path width from t=21 through t=27.
+		degraded := 0.0
+		if i >= 21 && i <= 27 {
+			degraded = 1
+		}
+		db.Append("live_degraded", l0, at, degraded)
 		db.Append("recv_delivered", tsdb.L("node", "1"), at, float64(i))
 
 		fired := eng.Eval(db, at)
@@ -75,8 +89,9 @@ func buildRecordedRun() (*tsdb.DB, []rules.Alert) {
 
 // TestWatchGolden pins the dashboard rendering of the synthetic
 // recorded run, and with it the acceptance scenario: each injected
-// episode — relay failure, repair spike, goroutine leak, GC pause —
-// fires exactly one alert, all visible in the render.
+// episode — relay failure, repair spike, repair storm, degraded node,
+// goroutine leak, GC pause — fires exactly one alert, all visible in
+// the render.
 func TestWatchGolden(t *testing.T) {
 	db, alerts := buildRecordedRun()
 
@@ -84,13 +99,13 @@ func TestWatchGolden(t *testing.T) {
 	for _, a := range alerts {
 		count[a.Rule]++
 	}
-	for _, rule := range []string{"silent-relay", "repair-spike", "goroutine-leak", "gc-pause-spike"} {
+	for _, rule := range []string{"silent-relay", "repair-spike", "repair-storm", "node-degraded", "goroutine-leak", "gc-pause-spike"} {
 		if count[rule] != 1 {
 			t.Fatalf("injected failures: %s fired %d times, want 1 (alerts: %+v)", rule, count[rule], alerts)
 		}
 	}
-	if len(alerts) != 4 {
-		t.Fatalf("injected failures: %d alerts, want exactly 4: %+v", len(alerts), alerts)
+	if len(alerts) != 6 {
+		t.Fatalf("injected failures: %d alerts, want exactly 6: %+v", len(alerts), alerts)
 	}
 
 	var b strings.Builder
@@ -113,7 +128,7 @@ func TestWatchGolden(t *testing.T) {
 	if got != string(want) {
 		t.Errorf("watch render drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
-	for _, needle := range []string{"silent-relay", "repair-spike", "goroutine-leak", "gc-pause-spike", "alerts (4)"} {
+	for _, needle := range []string{"silent-relay", "repair-spike", "repair-storm", "node-degraded", "goroutine-leak", "gc-pause-spike", "repaired", "degraded", "alerts (6)"} {
 		if !strings.Contains(got, needle) {
 			t.Errorf("render is missing %q", needle)
 		}

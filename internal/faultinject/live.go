@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"resilientmix/internal/cluster"
+	"resilientmix/internal/livenet"
+	"resilientmix/internal/netsim"
+)
+
+// This file is the live backend: the same JSONL schedule that drives
+// the simulators is played back in wall-clock time against a spawned
+// anonnode fleet. Crash/restart map to process SIGKILL/respawn via the
+// cluster Runner; partition, latency, slow and drop map to each node's
+// /debug/fault controller (blackholing both ends of a pair yields the
+// symmetric partition the simulator applies). Identities that run
+// in-process (the traffic client) are faulted by direct method call.
+
+// LiveApplier plays fault schedules against a live cluster.
+type LiveApplier struct {
+	// Runner supervises the spawned fleet (crash/restart primitives).
+	Runner *cluster.Runner
+	// Client performs the /debug/fault calls; nil selects a client with
+	// a 5s timeout.
+	Client *http.Client
+	// Local maps roster ids handled in-process (no spawned process, no
+	// debug listener) to their nodes — the chaos traffic client.
+	Local map[int]*livenet.Node
+	// Rec, when non-nil, receives one Record per applied event — the
+	// live half of the chaos oracle's fault trace.
+	Rec *Recorder
+	// Log, when non-nil, narrates each application (anonctl -v style).
+	Log func(format string, args ...any)
+}
+
+func (a *LiveApplier) logf(format string, args ...any) {
+	if a.Log != nil {
+		a.Log(format, args...)
+	}
+}
+
+func (a *LiveApplier) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// slowLatency maps a sim slow-link multiplier onto injected wall-clock
+// latency: live TCP links have no adjustable propagation delay, so an
+// m× slowdown becomes (m-1)×100ms of added forwarding delay.
+func slowLatency(mult float64) time.Duration {
+	return time.Duration((mult - 1) * float64(100*time.Millisecond))
+}
+
+// Play validates the schedule against n roster identities and applies
+// its expanded events at their wall-clock offsets (AtMS from the start
+// of the call). Individual application errors are logged and recorded
+// but do not abort playback — a crashed node rejecting a latency
+// injection is normal chaos. The context cancels playback between
+// events.
+func (a *LiveApplier) Play(ctx context.Context, s Schedule, n int) (int, error) {
+	if err := s.Validate(n); err != nil {
+		return 0, err
+	}
+	exp := s.Expanded()
+	start := time.Now()
+	applied := 0
+	for _, e := range exp {
+		wait := time.Duration(e.AtMS)*time.Millisecond - time.Since(start)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return applied, ctx.Err()
+			}
+		}
+		if err := a.apply(e); err != nil {
+			a.logf("chaos: t=%dms %s target=%d: %v", e.AtMS, e.Kind, e.Target, err)
+		} else {
+			a.logf("chaos: t=%dms %s target=%d peer=%d value=%g", e.AtMS, e.Kind, e.Target, e.Peer, e.Value)
+		}
+		if a.Rec != nil {
+			a.Rec.Note(Record{At: e.AtMS, Kind: e.Kind, Target: e.Target, Peer: e.Peer, Value: e.Value})
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// apply performs one expanded event against the fleet.
+func (a *LiveApplier) apply(e Event) error {
+	switch e.Kind {
+	case Crash:
+		return a.Runner.Kill(e.Target)
+	case Restart:
+		return a.Runner.Restart(e.Target)
+	case Partition:
+		err1 := a.fault(e.Target, "blackhole", map[string]string{"peer": fmt.Sprint(e.Peer)})
+		err2 := a.fault(e.Peer, "blackhole", map[string]string{"peer": fmt.Sprint(e.Target)})
+		if err1 != nil {
+			return err1
+		}
+		return err2
+	case Heal:
+		err1 := a.fault(e.Target, "heal", map[string]string{"peer": fmt.Sprint(e.Peer)})
+		err2 := a.fault(e.Peer, "heal", map[string]string{"peer": fmt.Sprint(e.Target)})
+		if err1 != nil {
+			return err1
+		}
+		return err2
+	case Latency:
+		d := time.Duration(e.Value) * time.Millisecond
+		return a.fault(e.Target, "latency", map[string]string{"dur": d.String()})
+	case Slow:
+		return a.fault(e.Target, "latency", map[string]string{"dur": slowLatency(e.Value).String()})
+	case Drop:
+		return a.fault(e.Target, "drop", map[string]string{"value": fmt.Sprint(e.Value)})
+	}
+	return fmt.Errorf("faultinject: kind %q has no live mapping", e.Kind)
+}
+
+// fault routes one controller operation to a node: direct method call
+// for in-process identities, POST /debug/fault for spawned ones.
+func (a *LiveApplier) fault(id int, op string, params map[string]string) error {
+	if node, ok := a.Local[id]; ok {
+		return applyLocal(node, op, params)
+	}
+	var debug string
+	for _, n := range a.Runner.Manifest.Nodes {
+		if n.ID == id {
+			debug = n.Debug
+			break
+		}
+	}
+	if debug == "" {
+		return fmt.Errorf("faultinject: node %d has no debug listener and is not local", id)
+	}
+	q := url.Values{"op": {op}}
+	for k, v := range params {
+		q.Set(k, v)
+	}
+	resp, err := a.client().Post("http://"+debug+"/debug/fault?"+q.Encode(), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("faultinject: node %d /debug/fault %s: status %d", id, op, resp.StatusCode)
+	}
+	return nil
+}
+
+// applyLocal mirrors the /debug/fault operations onto an in-process
+// node.
+func applyLocal(node *livenet.Node, op string, params map[string]string) error {
+	switch op {
+	case "blackhole":
+		var peer int
+		fmt.Sscan(params["peer"], &peer)
+		node.BlackholePeer(netsim.NodeID(peer), 0)
+	case "heal":
+		var peer int
+		fmt.Sscan(params["peer"], &peer)
+		node.HealPeer(netsim.NodeID(peer))
+	case "latency":
+		d, err := time.ParseDuration(params["dur"])
+		if err != nil {
+			return err
+		}
+		node.SetFaultLatency(d)
+	case "drop":
+		var v float64
+		fmt.Sscan(params["value"], &v)
+		return node.SetFaultDrop(v)
+	default:
+		return fmt.Errorf("faultinject: unknown local op %q", op)
+	}
+	return nil
+}

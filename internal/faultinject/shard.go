@@ -1,0 +1,103 @@
+package faultinject
+
+import (
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim"
+	"resilientmix/internal/sim/shard"
+)
+
+// ApplyShard schedules the fault schedule onto a sharded world at
+// setup time (before Cluster.Run). The sharded network's fault state
+// is per-node-owned, so every mutation is scheduled as an event on the
+// owning node's Proc: link faults fire on both endpoints (each owns
+// its outbound direction), crashes and drop rates on the target. Each
+// applied fault emits one FaultInjected trace event from the target's
+// proc, which flows through the K-invariant trace merge — so fault
+// application is byte-identical across shard counts like everything
+// else.
+//
+// Injected latency only ever increases link delay (Validate enforces
+// value ≥ 1 for slow, ≥ 0 for latency), so the conservative lookahead
+// computed from the un-faulted topology remains a safe lower bound.
+func ApplyShard(cl *shard.Cluster, net *netsim.ShardedNetwork, s Schedule) (int, error) {
+	if err := s.Validate(net.Size()); err != nil {
+		return 0, err
+	}
+	exp := s.Expanded()
+	for _, e := range exp {
+		e := e
+		at := shard.Time(e.AtMS) * sim.Millisecond
+		// The target's proc performs its side of the fault and emits
+		// the trace event.
+		cl.Proc(e.Target).Schedule(at, func(p *shard.Proc) {
+			applyShardLocal(net, p, e)
+			p.Emit(obs.Event{
+				Type: obs.FaultInjected, At: int64(p.Now()),
+				Node: e.Target, Peer: e.Peer, Slot: -1, Hop: -1,
+				Reason: faultReason(e.Kind),
+			})
+		})
+		// Far ends own the reverse direction of link faults.
+		if e.Kind.linkFault() {
+			for _, far := range farEnds(net.Size(), e) {
+				far := far
+				cl.Proc(far).Schedule(at, func(p *shard.Proc) {
+					applyShardReverse(net, p, e)
+				})
+			}
+		}
+	}
+	return len(exp), nil
+}
+
+// farEnds lists the peers of a link fault.
+func farEnds(n int, e Event) []int {
+	if e.Peer >= 0 {
+		return []int{e.Peer}
+	}
+	out := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != e.Target {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// applyShardLocal performs the target-owned side of a fault on the
+// target's own proc.
+func applyShardLocal(net *netsim.ShardedNetwork, p *shard.Proc, e Event) {
+	switch e.Kind {
+	case Crash:
+		net.SetUp(p, false)
+	case Restart:
+		net.SetUp(p, true)
+	case Drop:
+		net.SetInboundDrop(p, e.Value)
+	case Partition, Heal, Latency, Slow:
+		for _, far := range farEnds(net.Size(), e) {
+			applyShardLink(net, p, netsim.NodeID(far), e)
+		}
+	}
+}
+
+// applyShardReverse performs the peer-owned (reverse) direction of a
+// link fault on the peer's own proc.
+func applyShardReverse(net *netsim.ShardedNetwork, p *shard.Proc, e Event) {
+	applyShardLink(net, p, netsim.NodeID(e.Target), e)
+}
+
+// applyShardLink configures one outbound link of p's node.
+func applyShardLink(net *netsim.ShardedNetwork, p *shard.Proc, to netsim.NodeID, e Event) {
+	switch e.Kind {
+	case Partition:
+		net.BlockLink(p, to)
+	case Heal:
+		net.UnblockLink(p, to)
+	case Latency:
+		net.SetLinkExtra(p, to, shard.Time(e.Value)*sim.Millisecond)
+	case Slow:
+		net.SetLinkSlow(p, to, e.Value)
+	}
+}

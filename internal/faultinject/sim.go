@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+
+	"resilientmix/internal/netsim"
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim"
+)
+
+// Record is one applied fault, as written to the fault trace. At is in
+// the backend's native clock (virtual microseconds on sim backends,
+// unix microseconds live).
+type Record struct {
+	At     int64   `json:"at"`
+	Kind   Kind    `json:"kind"`
+	Target int     `json:"target"`
+	Peer   int     `json:"peer"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// Recorder accumulates the applied-fault trace: optionally written as
+// JSONL, always folded into a running SHA-256 so two runs can be
+// compared by hash alone. On the sim backends the trace is a pure
+// function of (seed, schedule) — the determinism oracle pins exactly
+// this hash.
+type Recorder struct {
+	w     io.Writer
+	h     hash.Hash
+	count int
+}
+
+// NewRecorder creates a recorder; w may be nil to hash without
+// writing.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: w, h: sha256.New()}
+}
+
+// Note records one applied fault.
+func (r *Recorder) Note(rec Record) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		panic("faultinject: record marshal: " + err.Error()) // fixed struct, cannot fail
+	}
+	line = append(line, '\n')
+	r.h.Write(line)
+	r.count++
+	if r.w != nil {
+		r.w.Write(line)
+	}
+}
+
+// Count returns the number of recorded faults.
+func (r *Recorder) Count() int { return r.count }
+
+// Sum returns the hex SHA-256 of the trace so far.
+func (r *Recorder) Sum() string { return hex.EncodeToString(r.h.Sum(nil)) }
+
+// faultReason maps a fault kind to the trace reason vocabulary (best
+// effort; kinds with no natural reason map to none).
+func faultReason(k Kind) obs.Reason {
+	switch k {
+	case Partition:
+		return obs.ReasonPartitioned
+	case Drop:
+		return obs.ReasonInjectedDrop
+	}
+	return obs.ReasonNone
+}
+
+// ApplySim schedules the fault schedule onto a classic simulated
+// world. Reverts (DurMS) are expanded into explicit events first.
+// Every applied fault is noted on rec (which may be nil) and emitted
+// as a FaultInjected trace event when the network has a tracer.
+// Returns the number of scheduled applications.
+func ApplySim(eng *sim.Engine, net *netsim.Network, s Schedule, rec *Recorder) (int, error) {
+	if err := s.Validate(net.Size()); err != nil {
+		return 0, err
+	}
+	exp := s.Expanded()
+	for _, e := range exp {
+		e := e
+		eng.ScheduleAt(sim.Time(e.AtMS)*sim.Millisecond, func() {
+			applySim(net, e)
+			if rec != nil {
+				rec.Note(Record{At: int64(eng.Now()), Kind: e.Kind, Target: e.Target, Peer: e.Peer, Value: e.Value})
+			}
+			if t := net.Tracer(); t != nil {
+				t.Emit(obs.Event{
+					Type: obs.FaultInjected, At: int64(eng.Now()),
+					Node: e.Target, Peer: e.Peer, Slot: -1, Hop: -1,
+					Reason: faultReason(e.Kind),
+				})
+			}
+		})
+	}
+	return len(exp), nil
+}
+
+// applySim performs one fault on the classic network.
+func applySim(net *netsim.Network, e Event) {
+	switch e.Kind {
+	case Crash:
+		net.SetUp(netsim.NodeID(e.Target), false)
+	case Restart:
+		net.SetUp(netsim.NodeID(e.Target), true)
+	case Partition:
+		net.BlockLink(netsim.NodeID(e.Target), netsim.NodeID(e.Peer))
+		net.BlockLink(netsim.NodeID(e.Peer), netsim.NodeID(e.Target))
+	case Heal:
+		net.UnblockLink(netsim.NodeID(e.Target), netsim.NodeID(e.Peer))
+		net.UnblockLink(netsim.NodeID(e.Peer), netsim.NodeID(e.Target))
+	case Latency:
+		extra := sim.Time(e.Value) * sim.Millisecond
+		forEachPeer(net.Size(), e, func(a, b netsim.NodeID) {
+			net.SetLinkExtra(a, b, extra)
+		})
+	case Slow:
+		forEachPeer(net.Size(), e, func(a, b netsim.NodeID) {
+			net.SetLinkSlow(a, b, e.Value)
+		})
+	case Drop:
+		net.SetInboundDrop(netsim.NodeID(e.Target), e.Value)
+	default:
+		panic(fmt.Sprintf("faultinject: unreachable kind %q", e.Kind))
+	}
+}
+
+// forEachPeer invokes fn for both directions of every link the event
+// addresses: target↔peer, or target↔all when peer is -1.
+func forEachPeer(n int, e Event, fn func(a, b netsim.NodeID)) {
+	t := netsim.NodeID(e.Target)
+	if e.Peer >= 0 {
+		p := netsim.NodeID(e.Peer)
+		fn(t, p)
+		fn(p, t)
+		return
+	}
+	for i := 0; i < n; i++ {
+		if i == e.Target {
+			continue
+		}
+		fn(t, netsim.NodeID(i))
+		fn(netsim.NodeID(i), t)
+	}
+}

@@ -59,6 +59,10 @@ type Health struct {
 	HeapObjects        uint64  `json:"heap_objects"`
 	NumGC              uint32  `json:"num_gc"`
 	LastGCPauseSeconds float64 `json:"last_gc_pause_seconds"`
+	// DegradedSessions counts live sessions currently running below
+	// their full path width (repair in progress — the node sheds cover
+	// traffic first and keeps real traffic flowing).
+	DegradedSessions int `json:"degraded_sessions"`
 	// Ready mirrors the readiness verdict; ReadyReason carries the
 	// failure description when not ready.
 	Ready       bool   `json:"ready"`
@@ -93,6 +97,7 @@ func (n *Node) Health() Health {
 	h.HeapObjects = rs.HeapObjects
 	h.NumGC = rs.NumGC
 	h.LastGCPauseSeconds = rs.LastGCPauseSeconds
+	h.DegradedSessions = int(n.degraded.Load())
 	if err := n.Ready(); err != nil {
 		h.ReadyReason = err.Error()
 	} else {
@@ -183,7 +188,10 @@ func (n *Node) HealthzHandler() http.Handler {
 
 // ReadyzHandler is the readiness probe: 200 when Ready() passes, 503
 // with the reason otherwise. `?verbose=1` (or any query) also works —
-// the body always carries the verdict.
+// the body always carries the verdict. A node with degraded sessions
+// (running below full path width while repair works) stays ready —
+// graceful degradation, not an outage — but the body says so, so
+// probes and operators can see it.
 func (n *Node) ReadyzHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		if err := n.Ready(); err != nil {
@@ -191,6 +199,10 @@ func (n *Node) ReadyzHandler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if d := n.degraded.Load(); d > 0 {
+			fmt.Fprintf(w, "ready (degraded: %d sessions below full path width)\n", d)
+			return
+		}
 		fmt.Fprintln(w, "ready")
 	})
 }

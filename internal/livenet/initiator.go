@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -25,48 +26,46 @@ type Path struct {
 	replies       chan []byte
 }
 
-// Construct builds an onion path through the given relays to the
-// responder (§4.1) and blocks until the end-to-end construction ack
-// arrives or the configured timeout elapses.
-func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path, error) {
+// preparePath validates the endpoints, generates the per-hop and
+// responder keys, and builds the construction onion — everything a
+// path needs before its first frame leaves.
+func (n *Node) preparePath(relays []netsim.NodeID, responder netsim.NodeID) (*Path, []byte, error) {
 	if len(relays) == 0 {
-		return nil, errors.New("livenet: path needs at least one relay")
+		return nil, nil, errors.New("livenet: path needs at least one relay")
 	}
 	roster := n.roster()
 	for _, r := range relays {
 		if r == n.cfg.ID || r == responder {
-			return nil, fmt.Errorf("livenet: relay %d collides with an endpoint", r)
+			return nil, nil, fmt.Errorf("livenet: relay %d collides with an endpoint", r)
 		}
 		if _, err := roster.Peer(r); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if _, err := roster.Peer(responder); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-
 	keys := make([][]byte, len(relays))
 	for i := range keys {
 		k, err := n.cfg.Suite.NewSymKey(rand.Reader)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		keys[i] = k
 	}
 	respKey, err := n.cfg.Suite.NewSymKey(rand.Reader)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sealed, err := n.cfg.Suite.Seal(rand.Reader, roster.Public(responder), respKey)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	onionBytes, err := onion.BuildConstructOnion(n.cfg.Suite, rand.Reader, roster, relays, responder, keys)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-
-	p := &Path{
+	return &Path{
 		SID:           newSID(),
 		Relays:        append([]netsim.NodeID(nil), relays...),
 		Responder:     responder,
@@ -75,13 +74,32 @@ func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path
 		respKey:       respKey,
 		sealedRespKey: sealed,
 		replies:       make(chan []byte, 64),
+	}, onionBytes, nil
+}
+
+// Construct builds an onion path through the given relays to the
+// responder (§4.1) and blocks until the end-to-end construction ack
+// arrives or the configured timeout elapses.
+func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ConstructTimeout)
+	defer cancel()
+	return n.ConstructCtx(ctx, relays, responder)
+}
+
+// ConstructCtx is Construct under a caller-supplied context: both the
+// outbound dial and the ack wait observe ctx, so a blackholed or
+// silent first relay cannot stall the initiator past its deadline.
+func (n *Node) ConstructCtx(ctx context.Context, relays []netsim.NodeID, responder netsim.NodeID) (*Path, error) {
+	p, onionBytes, err := n.preparePath(relays, responder)
+	if err != nil {
+		return nil, err
 	}
 	ack := make(chan struct{})
 	n.mu.Lock()
 	n.acks[p.SID] = ack
 	n.mu.Unlock()
 
-	if err := n.send(relays[0], frame{
+	if err := n.sendCtx(ctx, relays[0], frame{
 		kind: kindConstruct,
 		sid:  p.SID,
 		body: prependSender(n.cfg.ID, onionBytes),
@@ -94,11 +112,11 @@ func (n *Node) Construct(relays []netsim.NodeID, responder netsim.NodeID) (*Path
 
 	select {
 	case <-ack:
-	case <-time.After(n.cfg.ConstructTimeout):
+	case <-ctx.Done():
 		n.mu.Lock()
 		delete(n.acks, p.SID)
 		n.mu.Unlock()
-		return nil, fmt.Errorf("livenet: construction ack timeout after %v", n.cfg.ConstructTimeout)
+		return nil, fmt.Errorf("livenet: construction ack: %w", ctx.Err())
 	}
 	n.mu.Lock()
 	n.paths[p.SID] = p
@@ -122,56 +140,23 @@ func (n *Node) notePathBuilt(p *Path) {
 // message one half-trip after launch, and the method returns once the
 // construction ack arrives (or the timeout elapses).
 func (n *Node) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID, data []byte) (*Path, error) {
-	if len(relays) == 0 {
-		return nil, errors.New("livenet: path needs at least one relay")
-	}
-	roster := n.roster()
-	for _, r := range relays {
-		if r == n.cfg.ID || r == responder {
-			return nil, fmt.Errorf("livenet: relay %d collides with an endpoint", r)
-		}
-		if _, err := roster.Peer(r); err != nil {
-			return nil, err
-		}
-	}
-	if _, err := roster.Peer(responder); err != nil {
-		return nil, err
-	}
-	keys := make([][]byte, len(relays))
-	for i := range keys {
-		k, err := n.cfg.Suite.NewSymKey(rand.Reader)
-		if err != nil {
-			return nil, err
-		}
-		keys[i] = k
-	}
-	respKey, err := n.cfg.Suite.NewSymKey(rand.Reader)
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ConstructTimeout)
+	defer cancel()
+	return n.ConstructWithDataCtx(ctx, relays, responder, data)
+}
+
+// ConstructWithDataCtx is ConstructWithData under a caller-supplied
+// context.
+func (n *Node) ConstructWithDataCtx(ctx context.Context, relays []netsim.NodeID, responder netsim.NodeID, data []byte) (*Path, error) {
+	p, onionBytes, err := n.preparePath(relays, responder)
 	if err != nil {
 		return nil, err
 	}
-	sealed, err := n.cfg.Suite.Seal(rand.Reader, roster.Public(responder), respKey)
-	if err != nil {
-		return nil, err
-	}
-	onionBytes, err := onion.BuildConstructOnion(n.cfg.Suite, rand.Reader, roster, relays, responder, keys)
-	if err != nil {
-		return nil, err
-	}
-	payload, err := onion.BuildPayloadOnion(n.cfg.Suite, rand.Reader, keys, responder, respKey, sealed, data)
+	payload, err := onion.BuildPayloadOnion(n.cfg.Suite, rand.Reader, p.keys, responder, p.respKey, p.sealedRespKey, data)
 	if err != nil {
 		return nil, err
 	}
 
-	p := &Path{
-		SID:           newSID(),
-		Relays:        append([]netsim.NodeID(nil), relays...),
-		Responder:     responder,
-		node:          n,
-		keys:          keys,
-		respKey:       respKey,
-		sealedRespKey: sealed,
-		replies:       make(chan []byte, 64),
-	}
 	ack := make(chan struct{})
 	n.mu.Lock()
 	n.acks[p.SID] = ack
@@ -184,7 +169,7 @@ func (n *Node) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID
 	binary.BigEndian.PutUint32(body, uint32(len(onionBytes)))
 	copy(body[4:], onionBytes)
 	copy(body[4+len(onionBytes):], payload)
-	if err := n.send(relays[0], frame{
+	if err := n.sendCtx(ctx, relays[0], frame{
 		kind: kindConstructData,
 		sid:  p.SID,
 		body: prependSender(n.cfg.ID, body),
@@ -197,12 +182,12 @@ func (n *Node) ConstructWithData(relays []netsim.NodeID, responder netsim.NodeID
 	}
 	select {
 	case <-ack:
-	case <-time.After(n.cfg.ConstructTimeout):
+	case <-ctx.Done():
 		n.mu.Lock()
 		delete(n.acks, p.SID)
 		delete(n.paths, p.SID)
 		n.mu.Unlock()
-		return nil, fmt.Errorf("livenet: construction ack timeout after %v", n.cfg.ConstructTimeout)
+		return nil, fmt.Errorf("livenet: construction ack: %w", ctx.Err())
 	}
 	n.notePathBuilt(p)
 	return p, nil

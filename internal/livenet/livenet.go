@@ -15,6 +15,7 @@
 package livenet
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -141,11 +142,21 @@ func (r *Roster) Public(id netsim.NodeID) onioncrypt.PublicKey {
 	return r.peers[id].Public
 }
 
-// dial connects to a peer with a bounded timeout.
-func (r *Roster) dial(id netsim.NodeID, timeout time.Duration) (net.Conn, error) {
+// dialContext connects to a peer under the caller's context deadline —
+// every outbound dial in the package flows through here, so no dial
+// can outlive its caller's budget.
+func (r *Roster) dialContext(ctx context.Context, id netsim.NodeID) (net.Conn, error) {
 	p, err := r.Peer(id)
 	if err != nil {
 		return nil, err
 	}
-	return net.DialTimeout("tcp", p.Addr, timeout)
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", p.Addr)
+}
+
+// dial connects to a peer with a bounded timeout.
+func (r *Roster) dial(id netsim.NodeID, timeout time.Duration) (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return r.dialContext(ctx, id)
 }

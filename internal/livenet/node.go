@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -16,6 +17,7 @@ import (
 	"resilientmix/internal/obs"
 	"resilientmix/internal/onion"
 	"resilientmix/internal/onioncrypt"
+	"resilientmix/internal/retrypolicy"
 )
 
 // DataFunc receives a decrypted application payload at a live responder
@@ -40,6 +42,11 @@ type Config struct {
 	// ConstructTimeout bounds the wait for a construction ack; zero
 	// selects 10s.
 	ConstructTimeout time.Duration
+	// DialRetry governs outbound dial retries (§4.5's bounded retries
+	// with jittered exponential backoff). The zero value selects 2
+	// attempts with 100ms backoff, a 1s cap and 50% jitter; set
+	// Attempts to 1 for no retries.
+	DialRetry retrypolicy.Policy
 	// OnData enables the responder role.
 	OnData DataFunc
 	// Tracer, when non-nil, receives the node's wire events. Live
@@ -117,6 +124,12 @@ type Node struct {
 	started     time.Time
 	lastFrameAt atomic.Int64
 
+	// flt is the injected-fault controller (see fault.go); degraded
+	// counts sessions currently running below full path width (set by
+	// the session repair loop, surfaced via Ready/Health/metrics).
+	flt      *faultCtl
+	degraded atomic.Int64
+
 	// readiness cache (see Ready): readyAt stamps the last probe,
 	// readyErr holds its verdict.
 	readyMu  sync.Mutex
@@ -174,6 +187,14 @@ func Start(addr string, cfg Config) (*Node, error) {
 	if cfg.ConstructTimeout <= 0 {
 		cfg.ConstructTimeout = 10 * time.Second
 	}
+	if cfg.DialRetry.Attempts == 0 {
+		cfg.DialRetry = retrypolicy.Policy{
+			Attempts:   2,
+			Backoff:    100 * time.Millisecond,
+			BackoffCap: time.Second,
+			Jitter:     0.5,
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("livenet: listen: %w", err)
@@ -189,6 +210,7 @@ func Start(addr string, cfg Config) (*Node, error) {
 		hub:      hub,
 		trc:      obs.Multi(cfg.Tracer, hub),
 		started:  time.Now(),
+		flt:      newFaultCtl(),
 		forward:  make(map[uint64]*liveState),
 		reverse:  make(map[uint64]*liveState),
 		acks:     make(map[uint64]chan struct{}),
@@ -322,16 +344,75 @@ func (n *Node) sweepLoop() {
 	}
 }
 
-// send dials a peer and writes one frame.
+// send dials a peer and writes one frame, with the dial-retry policy's
+// full budget as the overall deadline.
 func (n *Node) send(to netsim.NodeID, f frame) error {
-	conn, err := n.roster().dial(to, n.cfg.DialTimeout)
-	if err != nil {
-		n.noteSendError(to, f)
-		return err
+	ctx, cancel := context.WithTimeout(context.Background(), n.sendBudget())
+	defer cancel()
+	return n.sendCtx(ctx, to, f)
+}
+
+// sendBudget bounds a context-free send: every dial attempt plus every
+// backoff sleep of the retry policy (each at most twice the larger of
+// Backoff and BackoffCap, since jitter is capped at 100%).
+func (n *Node) sendBudget() time.Duration {
+	pol := n.cfg.DialRetry
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	defer conn.Close()
-	conn.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
-	if err := writeFrame(conn, f); err != nil {
+	backoff := pol.BackoffCap
+	if backoff < pol.Backoff {
+		backoff = pol.Backoff
+	}
+	return time.Duration(attempts)*n.cfg.DialTimeout +
+		time.Duration(attempts-1)*2*backoff + time.Second
+}
+
+// sendCtx dials a peer under the caller's context and writes one frame.
+// It first consults the fault controller (blackholes refuse the frame,
+// the injected drop rate consumes it silently, injected latency delays
+// it), then retries dial failures per the DialRetry policy with
+// jittered exponential backoff. Write failures after a successful dial
+// are not retried: the frame may have partially left, and replaying it
+// risks duplicate relay state.
+func (n *Node) sendCtx(ctx context.Context, to netsim.NodeID, f frame) error {
+	if n.flt.blackholed(to) {
+		n.noteBlackholed(to, f)
+		return fmt.Errorf("livenet: peer %d blackholed", to)
+	}
+	if delay, dropped := n.flt.outboundFault(); dropped {
+		n.noteInjectedDrop(to, f)
+		return nil // the frame "left" but will never arrive
+	} else if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			n.noteSendError(to, f)
+			return ctx.Err()
+		}
+	}
+	err := n.cfg.DialRetry.Do(ctx, func(ctx context.Context) error {
+		dctx, cancel := context.WithTimeout(ctx, n.cfg.DialTimeout)
+		defer cancel()
+		conn, err := n.roster().dialContext(dctx, to)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		deadline := time.Now().Add(n.cfg.DialTimeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		conn.SetWriteDeadline(deadline)
+		if err := writeFrame(conn, f); err != nil {
+			return retrypolicy.Permanent(err)
+		}
+		return nil
+	})
+	if err != nil {
 		n.noteSendError(to, f)
 		return err
 	}
@@ -413,6 +494,10 @@ func (n *Node) handleConstruct(f frame) {
 	if _, err := n.roster().Peer(from); err != nil {
 		return
 	}
+	if n.flt.blackholed(from) {
+		n.noteBlackholed(from, f)
+		return
+	}
 	layer, err := onion.ParseConstructLayer(n.cfg.Suite, n.cfg.Private, onionBytes)
 	if err != nil {
 		return
@@ -447,6 +532,10 @@ func (n *Node) handleConstructData(f frame) {
 		return
 	}
 	if _, err := n.roster().Peer(from); err != nil {
+		return
+	}
+	if n.flt.blackholed(from) {
+		n.noteBlackholed(from, f)
 		return
 	}
 	onionLen := binary.BigEndian.Uint32(rest)
@@ -572,6 +661,10 @@ func (n *Node) handleDeliver(f frame) {
 		return
 	}
 	if _, err := n.roster().Peer(relay); err != nil {
+		return
+	}
+	if n.flt.blackholed(relay) {
+		n.noteBlackholed(relay, f)
 		return
 	}
 	sealedKey, ct, err := onion.ParseResponderBlob(blob)

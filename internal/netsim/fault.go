@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"fmt"
+
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim"
+)
+
+// Fault-injection hooks for the classic single-goroutine Network.
+// internal/faultinject drives these from a schedule; they compose with
+// the ordinary churn/loss model:
+//
+//   - a blocked (partitioned) link swallows every message after the
+//     bytes enter the wire — the sender cannot tell, exactly like a
+//     real partition;
+//   - a per-node inbound drop rate models a targeted adversary (or a
+//     dying NIC) discarding traffic addressed to one relay;
+//   - link latency degradation (additive or multiplicative) only ever
+//     increases delay, which keeps the sharded engine's conservative
+//     lookahead valid when the same schedule runs there.
+//
+// All state is consulted on the Send path from the simulation
+// goroutine; like the rest of Network it is not safe for concurrent
+// mutation.
+
+// linkKey identifies one directed link.
+type linkKey struct{ from, to int }
+
+// faultState holds the injected-fault configuration, allocated lazily
+// so an un-faulted network pays nothing.
+type faultState struct {
+	blocked map[linkKey]bool
+	extra   map[linkKey]sim.Time
+	slow    map[linkKey]float64
+	inDrop  []float64
+}
+
+func (n *Network) faults() *faultState {
+	if n.fault == nil {
+		n.fault = &faultState{
+			blocked: make(map[linkKey]bool),
+			extra:   make(map[linkKey]sim.Time),
+			slow:    make(map[linkKey]float64),
+			inDrop:  make([]float64, len(n.up)),
+		}
+	}
+	return n.fault
+}
+
+// BlockLink partitions the directed link from→to: messages still enter
+// the wire (bytes are charged) but never arrive. Bidirectional
+// partitions block both directions.
+func (n *Network) BlockLink(from, to NodeID) {
+	n.faults().blocked[linkKey{n.check(from), n.check(to)}] = true
+}
+
+// UnblockLink heals a partitioned link.
+func (n *Network) UnblockLink(from, to NodeID) {
+	if n.fault != nil {
+		delete(n.fault.blocked, linkKey{n.check(from), n.check(to)})
+	}
+}
+
+// SetLinkExtra adds a fixed extra one-way delay to the directed link
+// from→to. Zero removes the injection. Negative panics: injected
+// latency may only increase delay.
+func (n *Network) SetLinkExtra(from, to NodeID, extra sim.Time) {
+	if extra < 0 {
+		panic(fmt.Sprintf("netsim: negative injected latency %d", extra))
+	}
+	k := linkKey{n.check(from), n.check(to)}
+	if extra == 0 {
+		if n.fault != nil {
+			delete(n.fault.extra, k)
+		}
+		return
+	}
+	n.faults().extra[k] = extra
+}
+
+// SetLinkSlow multiplies the directed link's one-way latency by mult
+// (a slow-link degradation). mult of 1 (or 0) removes the injection;
+// values below 1 panic — injected degradation may only slow a link.
+func (n *Network) SetLinkSlow(from, to NodeID, mult float64) {
+	k := linkKey{n.check(from), n.check(to)}
+	if mult == 0 || mult == 1 {
+		if n.fault != nil {
+			delete(n.fault.slow, k)
+		}
+		return
+	}
+	if mult < 1 {
+		panic(fmt.Sprintf("netsim: slow-link multiplier %g < 1", mult))
+	}
+	n.faults().slow[k] = mult
+}
+
+// SetInboundDrop makes every message addressed to id independently
+// vanish with probability p — a targeted per-relay drop. 0 removes the
+// injection.
+func (n *Network) SetInboundDrop(id NodeID, p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netsim: inbound drop rate %g outside [0,1]", p))
+	}
+	i := n.check(id)
+	if p == 0 && n.fault == nil {
+		return
+	}
+	n.faults().inDrop[i] = p
+}
+
+// faultDrop decides, at send time, whether injected faults consume the
+// message, emitting the drop trace/stats when they do. It returns the
+// adjusted delivery latency otherwise.
+func (n *Network) faultDrop(fi, ti int, msg Message) (lat sim.Time, dropped bool) {
+	lat = n.lat.OneWay(fi, ti)
+	f := n.fault
+	if f == nil {
+		return lat, false
+	}
+	k := linkKey{fi, ti}
+	if f.blocked[k] {
+		n.noteFaultDrop(fi, ti, msg, obs.ReasonPartitioned)
+		return 0, true
+	}
+	if p := f.inDrop[ti]; p > 0 && n.eng.RNG().Float64() < p {
+		n.noteFaultDrop(fi, ti, msg, obs.ReasonInjectedDrop)
+		return 0, true
+	}
+	if m := f.slow[k]; m > 1 {
+		lat = sim.Time(float64(lat) * m)
+	}
+	if extra := f.extra[k]; extra > 0 {
+		lat += extra
+	}
+	return lat, false
+}
+
+func (n *Network) noteFaultDrop(fi, ti int, msg Message, reason obs.Reason) {
+	n.stats.DroppedFault++
+	if n.m != nil {
+		n.m.dropFault.Inc()
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(msgEvent(obs.MsgDropped, int64(n.eng.Now()), fi, ti, msg, reason))
+	}
+}

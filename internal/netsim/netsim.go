@@ -65,6 +65,7 @@ type Stats struct {
 	DroppedSender   uint64 // sends suppressed because the sender was down
 	DroppedReceiver uint64 // arrivals dropped because the receiver was down
 	DroppedLoss     uint64 // messages lost to random link loss
+	DroppedFault    uint64 // messages consumed by injected faults (partition / targeted drop)
 	Bytes           uint64 // total bytes placed on the wire (per-link)
 }
 
@@ -74,9 +75,9 @@ type Stats struct {
 // sites, which is what lets a run report's drop breakdown reconcile
 // byte-for-byte with its JSONL trace.
 type netMetrics struct {
-	sent, delivered, bytes                          *obs.Counter
-	dropSender, dropReceiver, dropHandler, dropLoss *obs.Counter
-	upNodes                                         *obs.Gauge
+	sent, delivered, bytes                                     *obs.Counter
+	dropSender, dropReceiver, dropHandler, dropLoss, dropFault *obs.Counter
+	upNodes                                                    *obs.Gauge
 }
 
 func newNetMetrics(reg *obs.Registry) *netMetrics {
@@ -88,6 +89,7 @@ func newNetMetrics(reg *obs.Registry) *netMetrics {
 		dropReceiver: reg.Counter("net.dropped." + obs.ReasonReceiverDown.String()),
 		dropHandler:  reg.Counter("net.dropped." + obs.ReasonNoHandler.String()),
 		dropLoss:     reg.Counter("net.dropped." + obs.ReasonLinkLoss.String()),
+		dropFault:    reg.Counter("net.dropped.fault"),
 		upNodes:      reg.Gauge("net.up_nodes"),
 	}
 }
@@ -103,6 +105,7 @@ type Network struct {
 	listeners []StateListener
 	taps      []Tap
 	lossRate  float64
+	fault     *faultState
 	stats     Stats
 	tracer    obs.Tracer
 	m         *netMetrics
@@ -276,7 +279,11 @@ func (n *Network) Send(from, to NodeID, msg Message) bool {
 		}
 		return true // bytes entered the wire; the message just never arrives
 	}
-	n.eng.Schedule(n.lat.OneWay(fi, ti), func() {
+	lat, dropped := n.faultDrop(fi, ti, msg)
+	if dropped {
+		return true // on the wire, but an injected fault consumed it
+	}
+	n.eng.Schedule(lat, func() {
 		if !n.up[ti] {
 			n.stats.DroppedReceiver++
 			if n.m != nil {

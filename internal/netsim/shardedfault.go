@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"fmt"
+
+	"resilientmix/internal/obs"
+	"resilientmix/internal/sim/shard"
+)
+
+// Fault-injection hooks for the sharded network. The ownership
+// discipline mirrors the rest of the sharded plane: every piece of
+// fault state belongs to exactly one node and is mutated and read only
+// from that node's shard, so schedules apply via events on the owning
+// Proc and no locks are needed:
+//
+//   - outbound state (blocked peers, extra/slow link latency) is owned
+//     by the *sender* and consulted in Send on the sender's shard;
+//   - the inbound drop rate is owned by the *receiver*; its coin is
+//     drawn from the destination proc's per-node RNG at deliver time,
+//     which keeps the draw sequence shard-count-invariant (deliveries
+//     to one node execute in deterministic (at,origin,oseq) order);
+//   - injected latency only ever increases a link's delay, so the
+//     conservative lookahead computed from the topology at setup
+//     remains a valid lower bound.
+
+// shardNodeFault is one node's fault state.
+type shardNodeFault struct {
+	blocked map[int]bool       // outbound partitioned peers
+	extra   map[int]shard.Time // outbound additive delay
+	slow    map[int]float64    // outbound latency multiplier
+	inDrop  float64            // inbound drop probability
+}
+
+// nodeFault lazily allocates node i's fault record. Must run on i's
+// shard (or at setup time).
+func (n *ShardedNetwork) nodeFault(i int) *shardNodeFault {
+	if n.fault[i] == nil {
+		n.fault[i] = &shardNodeFault{
+			blocked: make(map[int]bool),
+			extra:   make(map[int]shard.Time),
+			slow:    make(map[int]float64),
+		}
+	}
+	return n.fault[i]
+}
+
+// BlockLink partitions the directed link p's node → to. Must be called
+// from the sending node's own Proc.
+func (n *ShardedNetwork) BlockLink(p *shard.Proc, to NodeID) {
+	n.nodeFault(p.ID()).blocked[n.checkSharded(to)] = true
+}
+
+// UnblockLink heals the directed link p's node → to.
+func (n *ShardedNetwork) UnblockLink(p *shard.Proc, to NodeID) {
+	if f := n.fault[p.ID()]; f != nil {
+		delete(f.blocked, n.checkSharded(to))
+	}
+}
+
+// SetLinkExtra adds a fixed extra one-way delay to the directed link
+// p's node → to. Zero removes the injection; negative panics.
+func (n *ShardedNetwork) SetLinkExtra(p *shard.Proc, to NodeID, extra shard.Time) {
+	if extra < 0 {
+		panic(fmt.Sprintf("netsim: negative injected latency %d", extra))
+	}
+	ti := n.checkSharded(to)
+	if extra == 0 {
+		if f := n.fault[p.ID()]; f != nil {
+			delete(f.extra, ti)
+		}
+		return
+	}
+	n.nodeFault(p.ID()).extra[ti] = extra
+}
+
+// SetLinkSlow multiplies the directed link's latency by mult. 1 (or 0)
+// removes the injection; values below 1 panic.
+func (n *ShardedNetwork) SetLinkSlow(p *shard.Proc, to NodeID, mult float64) {
+	ti := n.checkSharded(to)
+	if mult == 0 || mult == 1 {
+		if f := n.fault[p.ID()]; f != nil {
+			delete(f.slow, ti)
+		}
+		return
+	}
+	if mult < 1 {
+		panic(fmt.Sprintf("netsim: slow-link multiplier %g < 1", mult))
+	}
+	n.nodeFault(p.ID()).slow[ti] = mult
+}
+
+// SetInboundDrop sets p's node's inbound drop probability. Must be
+// called from the target node's own Proc.
+func (n *ShardedNetwork) SetInboundDrop(p *shard.Proc, rate float64) {
+	if rate < 0 || rate > 1 {
+		panic(fmt.Sprintf("netsim: inbound drop rate %g outside [0,1]", rate))
+	}
+	if rate == 0 && n.fault[p.ID()] == nil {
+		return
+	}
+	n.nodeFault(p.ID()).inDrop = rate
+}
+
+// sendFault applies sender-owned fault state on the Send path: it
+// reports whether a partition consumed the message and otherwise
+// returns the adjusted delivery latency.
+func (n *ShardedNetwork) sendFault(p *shard.Proc, fi, ti int, now int64, msg Message) (lat shard.Time, dropped bool) {
+	lat = n.lat.OneWay(fi, ti)
+	f := n.fault[fi]
+	if f == nil {
+		return lat, false
+	}
+	if f.blocked[ti] {
+		n.counters[p.Shard()].stats.DroppedFault++
+		p.Emit(msgEvent(obs.MsgDropped, now, fi, ti, msg, obs.ReasonPartitioned))
+		return 0, true
+	}
+	if m := f.slow[ti]; m > 1 {
+		lat = shard.Time(float64(lat) * m)
+	}
+	if extra := f.extra[ti]; extra > 0 {
+		lat += extra
+	}
+	return lat, false
+}
+
+// deliverFault applies receiver-owned fault state at deliver time,
+// drawing the drop coin from the destination's per-node RNG.
+func (n *ShardedNetwork) deliverFault(q *shard.Proc, from NodeID, msg Message) bool {
+	f := n.fault[q.ID()]
+	if f == nil || f.inDrop <= 0 {
+		return false
+	}
+	if q.RNG().Float64() >= f.inDrop {
+		return false
+	}
+	n.counters[q.Shard()].stats.DroppedFault++
+	q.Emit(msgEvent(obs.MsgDropped, int64(q.Now()), int(from), q.ID(), msg, obs.ReasonInjectedDrop))
+	return true
+}

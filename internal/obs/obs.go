@@ -82,6 +82,11 @@ const (
 	// that dropped it. Without this event such messages would appear
 	// delivered in the trace and then silently vanish.
 	RelayDropped
+	// FaultInjected records a fault-injection schedule event being
+	// applied to the world (internal/faultinject): Node is the target,
+	// Peer the far end for link faults (-1 otherwise), Reason encodes
+	// the fault kind where one applies.
+	FaultInjected
 
 	numTypes
 )
@@ -101,6 +106,7 @@ var typeNames = [numTypes]string{
 	SegmentSent:          "segment_sent",
 	SegmentReconstructed: "segment_reconstructed",
 	RelayDropped:         "relay_dropped",
+	FaultInjected:        "fault_injected",
 }
 
 // String returns the stable wire name of the type.
@@ -152,6 +158,18 @@ const (
 	ReasonNoState
 	// ReasonBadLayer: an onion layer failed to decrypt or parse.
 	ReasonBadLayer
+	// ReasonPartitioned: an injected link partition swallowed the
+	// message (internal/faultinject).
+	ReasonPartitioned
+	// ReasonInjectedDrop: an injected per-node drop rate consumed the
+	// message (internal/faultinject).
+	ReasonInjectedDrop
+	// ReasonBlackholed: a live peer was administratively blackholed by
+	// the fault controller — connections neither complete nor answer.
+	ReasonBlackholed
+	// ReasonProbeTimeout: a live path missed a liveness probe echo
+	// (§4.5 probing over real sockets).
+	ReasonProbeTimeout
 
 	numReasons
 )
@@ -167,6 +185,10 @@ var reasonNames = [numReasons]string{
 	ReasonSendFailed:   "send_failed",
 	ReasonNoState:      "no_state",
 	ReasonBadLayer:     "bad_layer",
+	ReasonPartitioned:  "partitioned",
+	ReasonInjectedDrop: "injected_drop",
+	ReasonBlackholed:   "blackholed",
+	ReasonProbeTimeout: "probe_timeout",
 }
 
 // String returns the stable wire name of the reason.

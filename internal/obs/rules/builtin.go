@@ -33,6 +33,13 @@ func micros(d time.Duration) int64 { return d.Microseconds() }
 //   - repair-spike: paths died at more than one death per four
 //     segments sent over 10s — the paper's repair machinery is
 //     thrashing rather than absorbing failures.
+//   - repair-storm: path rebuilds completed at more than one per
+//     second over 10s — repair is cycling through relays instead of
+//     converging, the live counterpart of repair-spike (deaths
+//     measure the damage, rebuilds measure the churn).
+//   - node-degraded: a node reported sessions below full path width
+//     (live.degraded > 0) for two consecutive scrapes — repair has
+//     not restored the width and the node is shedding cover traffic.
 //
 // Three resource rules watch the runtime telemetry every node samples
 // into its registry (internal/obs.RuntimeCollector):
@@ -67,6 +74,14 @@ func Defaults() []Rule {
 			Name: "repair-spike", Kind: BurnRate,
 			Num: "session_paths_dead", Den: "session_segments_sent",
 			Op: OpGT, Value: 0.25, Window: micros(DefaultWindow),
+		},
+		{
+			Name: "repair-storm", Kind: Rate, Metric: "live_repair_repaired",
+			Op: OpGT, Value: 1, Window: micros(DefaultWindow),
+		},
+		{
+			Name: "node-degraded", Kind: Threshold, Metric: "live_degraded", PerNode: true,
+			Op: OpGT, Value: 0, For: 2,
 		},
 		{
 			Name: "goroutine-leak", Kind: Trend, Metric: "runtime_goroutines", PerNode: true,

@@ -220,3 +220,48 @@ func TestEvalDeterministic(t *testing.T) {
 		t.Fatalf("alerts = %+v, want one node-down", a)
 	}
 }
+
+// TestRepairStormAndDegradedFireOnce covers the chaos-era rules: a
+// sustained burst of path rebuilds fires repair-storm exactly once,
+// and a node holding live.degraded above zero for two scrapes fires
+// node-degraded exactly once — then both re-arm after clearing.
+func TestRepairStormAndDegradedFireOnce(t *testing.T) {
+	db := tsdb.New(256)
+	e := NewEngine(Defaults()...)
+
+	var all []Alert
+	for i := 0; i <= 30; i++ {
+		at := int64(i) * sec
+		l := tsdb.L("node", "0")
+		db.Append("up", l, at, 1)
+		db.Append("ready", l, at, 1)
+		// Repair storm: rebuilds climb 3/s from t=20 — well past the
+		// 1/s default once the window fills.
+		repaired := 0.0
+		if i > 20 {
+			repaired = float64((i - 20) * 3)
+		}
+		db.Append("live_repair_repaired", l, at, repaired)
+		// Degraded episode: below full width from t=21 through t=27.
+		degraded := 0.0
+		if i >= 21 && i <= 27 {
+			degraded = 1
+		}
+		db.Append("live_degraded", l, at, degraded)
+		all = append(all, e.Eval(db, at)...)
+	}
+
+	count := map[string]int{}
+	for _, a := range all {
+		count[a.Rule]++
+	}
+	if count["repair-storm"] != 1 {
+		t.Errorf("repair-storm fired %d times, want exactly 1 (alerts: %+v)", count["repair-storm"], all)
+	}
+	if count["node-degraded"] != 1 {
+		t.Errorf("node-degraded fired %d times, want exactly 1 (alerts: %+v)", count["node-degraded"], all)
+	}
+	if len(all) != 2 {
+		t.Errorf("total alerts = %d, want 2: %+v", len(all), all)
+	}
+}

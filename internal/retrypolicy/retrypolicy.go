@@ -1,0 +1,153 @@
+// Package retrypolicy is the repo's one retry/backoff implementation:
+// capped exponential backoff with uniform jitter and context-aware
+// sleeping. Cluster scrapes, livenet dials, and path-setup retries all
+// share it, so tuning (or auditing) retry behavior happens in exactly
+// one place.
+//
+// The jitter matters operationally: when a node goes down, every
+// client that failed against it retries. Without jitter they retry in
+// lockstep and the recovering node takes the whole herd at once;
+// spreading each delay uniformly over [d·(1−j), d·(1+j)] breaks the
+// synchronization.
+package retrypolicy
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one retry schedule. The zero value retries nothing
+// (a single attempt, no delays); fill in the fields or start from a
+// named preset.
+type Policy struct {
+	// Attempts is the total attempt budget (first try included).
+	// Values below 1 behave as 1.
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// retry up to BackoffCap.
+	Backoff time.Duration
+	// BackoffCap bounds the exponential growth. Zero means uncapped.
+	BackoffCap time.Duration
+	// Jitter spreads each delay uniformly over [d·(1−j), d·(1+j)].
+	// 0 disables; values above 1 clamp to 1.
+	Jitter float64
+	// Rand supplies the jitter randomness; nil uses the global
+	// math/rand source. Deterministic tests inject their own.
+	Rand *rand.Rand
+}
+
+// attempts returns the effective attempt budget.
+func (p Policy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+// base returns the un-jittered delay before attempt i (0-based; the
+// first retry waits before attempt 1). Attempt 0 never waits.
+func (p Policy) base(attempt int) time.Duration {
+	if attempt <= 0 || p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.BackoffCap > 0 && d >= p.BackoffCap {
+			return p.BackoffCap
+		}
+	}
+	if p.BackoffCap > 0 && d > p.BackoffCap {
+		d = p.BackoffCap
+	}
+	return d
+}
+
+// Delay returns the jittered delay to sleep before attempt i
+// (0-based). Attempt 0 is immediate.
+func (p Policy) Delay(attempt int) time.Duration {
+	return p.jitter(p.base(attempt))
+}
+
+// jitter spreads one delay by the policy's Jitter factor.
+func (p Policy) jitter(d time.Duration) time.Duration {
+	j := p.Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	lo := float64(d) * (1 - j)
+	var u float64
+	if p.Rand != nil {
+		u = p.Rand.Float64()
+	} else {
+		u = rand.Float64()
+	}
+	return time.Duration(lo + u*(2*j*float64(d)))
+}
+
+// permanentError wraps an error to stop the retry loop immediately.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks an error as non-retryable: Do returns it (unwrapped)
+// without consuming further attempts. Use it for authoritative answers
+// — a 503 from a readiness probe is a verdict, not an outage.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Do runs fn up to p.Attempts times, sleeping the jittered backoff
+// between attempts. It stops early when fn succeeds, when fn returns a
+// Permanent error, or when ctx is done (the context error wins over
+// the last attempt error so deadline causes are not masked). The
+// context is also consulted during backoff sleeps, so a canceled
+// caller never waits out a delay.
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	attempts := p.attempts()
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if err := sleep(ctx, p.Delay(i)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// sleep waits for d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,158 @@
+package retrypolicy
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBaseDelaySchedule(t *testing.T) {
+	p := Policy{Attempts: 6, Backoff: 100 * time.Millisecond, BackoffCap: time.Second}
+	want := []time.Duration{
+		0,                      // attempt 0: immediate
+		100 * time.Millisecond, // first retry
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+	}
+	for i, w := range want {
+		if got := p.base(i); got != w {
+			t.Errorf("base(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Far past the cap the delay must stay pinned (no overflow from
+	// repeated doubling).
+	if got := p.base(40); got != time.Second {
+		t.Errorf("base(40) = %v, want cap", got)
+	}
+}
+
+func TestJitterZeroLeavesDelayUnchanged(t *testing.T) {
+	p := Policy{Backoff: 250 * time.Millisecond}
+	if got := p.Delay(1); got != 250*time.Millisecond {
+		t.Errorf("jitter 0: Delay(1) = %v, want 250ms", got)
+	}
+}
+
+func TestJitterSpreadsWithinBand(t *testing.T) {
+	p := Policy{
+		Backoff: 100 * time.Millisecond,
+		Jitter:  0.5,
+		Rand:    rand.New(rand.NewSource(1)),
+	}
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("jitter produced only %d distinct delays; not spreading", len(seen))
+	}
+}
+
+func TestJitterAboveOneClamps(t *testing.T) {
+	p := Policy{Backoff: 100 * time.Millisecond, Jitter: 5, Rand: rand.New(rand.NewSource(2))}
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(1); d < 0 || d > 200*time.Millisecond {
+			t.Fatalf("clamped jitter delay %v outside [0, 200ms]", d)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Attempts: 4, Backoff: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{Attempts: 3, Backoff: time.Microsecond}
+	calls := 0
+	sentinel := errors.New("still down")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want sentinel after exactly 3", err, calls)
+	}
+}
+
+func TestDoZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	Policy{}.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errors.New("x")
+	})
+	if calls != 1 {
+		t.Fatalf("zero policy made %d attempts, want 1", calls)
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	p := Policy{Attempts: 5, Backoff: time.Microsecond}
+	calls := 0
+	verdict := errors.New("503 not ready")
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(verdict)
+	})
+	if !errors.Is(err, verdict) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want verdict after 1", err, calls)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestDoHonorsContextCancelDuringBackoff(t *testing.T) {
+	p := Policy{Attempts: 3, Backoff: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	started := make(chan struct{}, 3)
+	go func() {
+		done <- p.Do(ctx, func(context.Context) error {
+			started <- struct{}{}
+			return errors.New("transient")
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancel; backoff sleep ignores the context")
+	}
+}
+
+func TestDoExpiredContextBeforeFirstAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Policy{Attempts: 3}.Do(ctx, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("Do = %v after %d calls, want Canceled after 0", err, calls)
+	}
+}
